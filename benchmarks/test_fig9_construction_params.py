@@ -1,0 +1,76 @@
+"""Figure 9: effect of arity (k) and leaf-eventlist size (L).
+
+The paper measures, on Dataset 1, average singlepoint query time and index
+disk space while varying (a) the arity and (b) the leaf-eventlist size:
+
+* higher arity -> lower query times (flattening quickly) but more space,
+* larger leaf-eventlists -> less space (fewer leaves) but sharply higher
+  query times (more of the eventlist must be replayed per query).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import pytest
+
+from repro.core.deltagraph import DeltaGraph
+from repro.storage.compression import CompressedCodec
+from repro.storage.memory_store import InMemoryKVStore
+
+from conftest import uniform_times
+
+ARITIES = (2, 4, 6, 8)
+LEAF_SIZES = (500, 1000, 2000, 4000)
+NUM_QUERIES = 12
+
+
+def _measure(dataset, leaf_size, arity, times):
+    index = DeltaGraph.build(
+        dataset, store=InMemoryKVStore(codec=CompressedCodec()),
+        leaf_eventlist_size=leaf_size, arity=arity,
+        differential_functions=("balanced",))
+    per_query = []
+    for t in times:
+        started = time.perf_counter()
+        index.get_snapshot(t)
+        per_query.append(time.perf_counter() - started)
+    return statistics.mean(per_query), index.index_size_bytes()
+
+
+def test_fig9a_varying_arity(benchmark, recorder, dataset1):
+    times = uniform_times(dataset1, NUM_QUERIES)
+    rows = []
+    for arity in ARITIES:
+        mean_seconds, space_bytes = _measure(dataset1, 1000, arity, times)
+        rows.append({"arity": arity, "avg_seconds": mean_seconds,
+                     "space_bytes": space_bytes})
+    benchmark(lambda: _measure(dataset1, 1000, 4, times[:2]))
+    recorder("fig9a_arity", {"rows": rows})
+    print("\n[fig9a] arity: avg query ms, index bytes")
+    for row in rows:
+        print(f"  k={row['arity']}: {row['avg_seconds'] * 1000:7.1f} ms, "
+              f"{row['space_bytes']:>10d} B")
+    # Paper shape: query time decreases with arity; space generally increases.
+    assert rows[-1]["avg_seconds"] <= rows[0]["avg_seconds"] * 1.1
+    assert rows[-1]["space_bytes"] >= rows[0]["space_bytes"] * 0.9
+
+
+def test_fig9b_varying_leaf_eventlist_size(benchmark, recorder, dataset1):
+    times = uniform_times(dataset1, NUM_QUERIES)
+    rows = []
+    for leaf_size in LEAF_SIZES:
+        mean_seconds, space_bytes = _measure(dataset1, leaf_size, 4, times)
+        rows.append({"leaf_eventlist_size": leaf_size,
+                     "avg_seconds": mean_seconds, "space_bytes": space_bytes})
+    benchmark(lambda: _measure(dataset1, 1000, 4, times[:2]))
+    recorder("fig9b_leaf_size", {"rows": rows})
+    print("\n[fig9b] L: avg query ms, index bytes")
+    for row in rows:
+        print(f"  L={row['leaf_eventlist_size']}: "
+              f"{row['avg_seconds'] * 1000:7.1f} ms, "
+              f"{row['space_bytes']:>10d} B")
+    # Paper shape: larger L -> more time per query, less space.
+    assert rows[-1]["avg_seconds"] > rows[0]["avg_seconds"]
+    assert rows[-1]["space_bytes"] < rows[0]["space_bytes"]

@@ -1,0 +1,114 @@
+"""Section 5 validation: analytical space/latency models vs measurements.
+
+Not a figure in the paper, but the analytical models of Section 5 underpin
+its parameter-choice guidance, so this (ablation-style) benchmark checks the
+two headline predictions against constructed indexes:
+
+* Balanced: the total delta space per interior level is constant, and the
+  amount of data fetched by a singlepoint query is (roughly) independent of
+  which leaf is queried;
+* Intersection on a growing-only graph: the root equals ``G_0`` (empty for
+  Dataset 1, which starts from nothing) and query fetch size grows with the
+  queried leaf's index.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.analytics import BalancedModel, GraphDynamicsModel, IntersectionModel
+from repro.core.deltagraph import DeltaGraph
+from repro.core.skeleton import EdgeKind
+from repro.storage.instrumented import InstrumentedKVStore
+from repro.storage.memory_store import InMemoryKVStore
+
+from conftest import uniform_times
+
+LEAF_SIZE = 1000
+ARITY = 2
+
+
+@pytest.fixture(scope="module")
+def balanced_index(dataset1):
+    store = InstrumentedKVStore(InMemoryKVStore())
+    index = DeltaGraph.build(dataset1, store=store,
+                             leaf_eventlist_size=LEAF_SIZE, arity=ARITY,
+                             differential_functions=("balanced",))
+    return index, store
+
+
+def _space_per_level(index):
+    """Measured delta entries per interior level (level of the parent node)."""
+    per_level = {}
+    for edge in index.skeleton.edges():
+        if edge.kind != EdgeKind.DELTA or edge.source == "super-root":
+            continue
+        level = index.skeleton.nodes[edge.source].level
+        per_level[level] = per_level.get(level, 0) + edge.stats.total_entries
+    return per_level
+
+
+def test_sec5_balanced_model(benchmark, recorder, balanced_index, dataset1):
+    index, store = balanced_index
+    dynamics = GraphDynamicsModel.from_trace(dataset1)
+    model = BalancedModel(dynamics, LEAF_SIZE, ARITY)
+    measured_levels = _space_per_level(index)
+    # Fetch sizes for an old, a middle, and a recent query point.
+    times = uniform_times(dataset1, 12)
+    fetch_bytes = []
+    for t in (times[1], times[len(times) // 2], times[-2]):
+        store.reset_stats()
+        index.get_snapshot(t)
+        fetch_bytes.append(store.stats.bytes_read)
+    benchmark(lambda: index.get_snapshot(times[-1]))
+    spread = max(fetch_bytes) / max(min(fetch_bytes), 1)
+    recorder("sec5_balanced_model", {
+        "predicted_space_per_level_entries": model.space_per_level(),
+        "measured_space_per_level_entries": measured_levels,
+        "predicted_query_fetch_entries": model.query_fetch_size(),
+        "measured_fetch_bytes_old_mid_new": fetch_bytes,
+        "fetch_spread_max_over_min": spread,
+    })
+    print(f"\n[sec5/balanced] predicted space/level "
+          f"{model.space_per_level():.0f} entries; measured per level "
+          f"{measured_levels}; query fetch spread (max/min bytes) x{spread:.2f}")
+    # Shape checks: per-level space within a factor ~2.5 of each other (the
+    # model assumes complete k-ary trees and constant rates), and fetch sizes
+    # roughly uniform over history (within ~3x for the sampled points).
+    full_levels = [v for level, v in sorted(measured_levels.items())[:-1]]
+    if len(full_levels) >= 2:
+        assert max(full_levels) / max(min(full_levels), 1) < 2.5
+    assert spread < 3.0
+
+
+def test_sec5_intersection_model(benchmark, recorder, dataset1):
+    store = InstrumentedKVStore(InMemoryKVStore())
+    index = DeltaGraph.build(dataset1, store=store,
+                             leaf_eventlist_size=LEAF_SIZE, arity=ARITY,
+                             differential_functions=("intersection",))
+    dynamics = GraphDynamicsModel.from_trace(dataset1)
+    model = IntersectionModel(dynamics, LEAF_SIZE, ARITY)
+    # Growing-only trace starting from the empty graph: the model says the
+    # root is exactly G_0 (i.e. empty) and fetch cost grows with leaf index.
+    assert model.root_size() == 0
+    times = uniform_times(dataset1, 12)
+    old_time, new_time = times[1], times[-2]
+    store.reset_stats()
+    index.get_snapshot(old_time)
+    old_bytes = store.stats.bytes_read
+    store.reset_stats()
+    index.get_snapshot(new_time)
+    new_bytes = store.stats.bytes_read
+    benchmark(lambda: index.get_snapshot(new_time))
+    recorder("sec5_intersection_model", {
+        "predicted_root_size": model.root_size(),
+        "old_query_bytes": old_bytes,
+        "new_query_bytes": new_bytes,
+        "predicted_fetch_old": model.query_fetch_size(2),
+        "predicted_fetch_new": model.query_fetch_size(10),
+    })
+    print(f"\n[sec5/intersection] old-snapshot fetch {old_bytes} B vs "
+          f"new-snapshot fetch {new_bytes} B (model predicts growth)")
+    assert new_bytes > old_bytes

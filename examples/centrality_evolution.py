@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Evolution of centrality in a co-authorship network (paper Figure 1).
+
+The paper's motivating figure tracks how the PageRank ranks of the nodes
+that are top-25 in 2004 evolved over the preceding years of the DBLP
+co-authorship network.  This example reproduces that analysis end-to-end on
+the synthetic Dataset-1 analogue:
+
+1. build a DeltaGraph over the growing co-authorship trace,
+2. retrieve one snapshot per simulated "year" with a single multipoint query,
+3. compute PageRank on every snapshot and track the final top-k nodes' ranks
+   backwards through time,
+4. print the rank trajectories as a small text chart.
+
+Run with:  python examples/centrality_evolution.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.evolution import rank_evolution
+from repro.datasets.coauthorship import CoauthorshipConfig, generate_coauthorship_trace
+from repro.query.managers import GraphManager
+
+
+def main() -> None:
+    config = CoauthorshipConfig(total_events=15000, num_years=24,
+                                attrs_per_node=2, seed=11)
+    events = generate_coauthorship_trace(config)
+    gm = GraphManager.load(events, leaf_eventlist_size=1500, arity=4,
+                           differential_functions=("balanced",))
+    print("index:", gm.index.describe())
+
+    # One snapshot at the end of every other simulated year.
+    years = range(config.start_year + 3, config.start_year + config.num_years, 2)
+    times = [year * 10000 + 9999 for year in years]
+    views = gm.get_hist_graphs(times)          # one multipoint query
+    snapshots = [view.to_snapshot() for view in views]
+    print(f"retrieved {len(snapshots)} yearly snapshots; last has "
+          f"{snapshots[-1].num_nodes()} authors")
+
+    track_top_k = 10
+    trajectories = rank_evolution(snapshots, track_top_k=track_top_k,
+                                  iterations=15)
+
+    print(f"\nrank evolution of the final top-{track_top_k} authors "
+          f"(columns = years, '.' = not yet present):")
+    header = "author".ljust(8) + " ".join(f"{year % 100:>4d}" for year in years)
+    print(header)
+    for node, ranks in sorted(trajectories.items(),
+                              key=lambda item: item[1][-1]):
+        cells = []
+        for rank in ranks:
+            cells.append(f"{rank:>4d}" if rank is not None else "   .")
+        print(f"n{node:<7d}" + " ".join(cells))
+
+    # A small sanity summary like the paper's narrative: how fast did the
+    # eventual top authors climb?
+    print("\nclimb summary (first appearance rank -> final rank):")
+    for node, ranks in sorted(trajectories.items(),
+                              key=lambda item: item[1][-1])[:5]:
+        known = [r for r in ranks if r is not None]
+        print(f"  author n{node}: {known[0]} -> {known[-1]} "
+              f"over {len(known)} sampled years")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Partitioned historical PageRank (the paper's Dataset 3 experiment).
+
+The paper builds a partitioned DeltaGraph over a large citation-style trace,
+loads each snapshot partition onto a separate machine, and runs PageRank on
+a Pregel-like framework, reporting ~22-24 seconds per historical snapshot
+including retrieval.  This example runs the same pipeline at laptop scale:
+
+1. generate a Dataset-3-style workload (starting snapshot + random churn),
+2. build a horizontally partitioned DeltaGraph,
+3. for several historical timepoints, retrieve the snapshot with one worker
+   thread per partition and run PageRank on the Pregel engine,
+4. report per-snapshot retrieval + compute times and the top-ranked nodes.
+
+Run with:  python examples/distributed_pagerank.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.algorithms import top_k_by_score
+from repro.core.events import EventList
+from repro.datasets.random_trace import generate_citation_style_dataset
+from repro.distributed.partitioned import PartitionedHistoricalGraphStore
+
+
+def main() -> None:
+    print("generating citation-style workload (Dataset 3 analogue) ...")
+    base_events, churn = generate_citation_style_dataset(
+        num_nodes=800, num_start_edges=2500, num_events=12000, seed=29)
+    events = EventList(list(base_events) + list(churn))
+    print(f"  {len(events)} events, t=[{events.start_time}, {events.end_time}]")
+
+    num_partitions = 4
+    print(f"\nbuilding a {num_partitions}-way partitioned DeltaGraph ...")
+    store = PartitionedHistoricalGraphStore(
+        events, num_partitions=num_partitions, leaf_eventlist_size=2000,
+        arity=4, differential_functions=("intersection",))
+    print("  " + store.describe())
+
+    # PageRank over several historical snapshots, as an analyst exploring how
+    # the most central patents/papers changed over time would do.
+    span = events.end_time - events.start_time
+    query_times = [events.start_time + span * i // 4 for i in range(1, 5)]
+    print("\nper-snapshot PageRank (retrieval + compute, all partitions in parallel):")
+    for query_time in query_times:
+        started = time.perf_counter()
+        retrieval = store.get_snapshot(query_time, components=["struct"],
+                                       workers=num_partitions)
+        retrieved = time.perf_counter()
+        scores = store.pagerank_at(query_time, iterations=10,
+                                   workers=num_partitions)
+        finished = time.perf_counter()
+        top = top_k_by_score(scores, 3)
+        top_text = ", ".join(f"n{node}={score:.4f}" for node, score in top)
+        print(f"  t={query_time:>9d}: "
+              f"{retrieval.snapshot.num_nodes():>5d} nodes / "
+              f"{retrieval.snapshot.num_edges():>6d} edges | "
+              f"retrieve {retrieved - started:6.3f}s "
+              f"(slowest partition {retrieval.max_partition_seconds:6.3f}s) | "
+              f"total {finished - started:6.3f}s | top: {top_text}")
+
+    print("\nper-partition GraphPool sizes (union entries):",
+          store.partition_memory_entries())
+
+
+if __name__ == "__main__":
+    main()

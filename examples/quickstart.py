@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: index a historical graph and retrieve snapshots.
+
+Mirrors the code snippet in Section 3.2.1 of the paper:
+
+1. generate (or load) an event trace for an evolving network,
+2. build the DeltaGraph index over it,
+3. retrieve historical snapshots — singlepoint, multipoint, structure-only —
+   into the GraphPool through the ``GraphManager`` facade,
+4. traverse the retrieved ``HistGraph`` views.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets.coauthorship import CoauthorshipConfig, generate_coauthorship_trace
+from repro.query.managers import GraphManager
+from repro.query.time_expression import TimeExpression
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A DBLP-like growing co-authorship trace (Dataset 1 analogue).
+    # ------------------------------------------------------------------
+    events = generate_coauthorship_trace(CoauthorshipConfig(
+        total_events=12000, num_years=40, attrs_per_node=3, seed=42))
+    print(f"generated {len(events)} events "
+          f"spanning t=[{events.start_time}, {events.end_time}]")
+
+    # ------------------------------------------------------------------
+    # 2. Build the DeltaGraph index (this is `gm.loadDeltaGraphIndex(...)`).
+    # ------------------------------------------------------------------
+    gm = GraphManager.load(events, leaf_eventlist_size=1500, arity=4,
+                           differential_functions=("intersection",))
+    print("index:", gm.index.describe())
+
+    # ------------------------------------------------------------------
+    # 3a. Singlepoint retrieval with node attributes.
+    # ------------------------------------------------------------------
+    middle = (events.start_time + events.end_time) // 2
+    h1 = gm.get_hist_graph(middle, "+node:all")
+    print(f"\nsnapshot @ t={middle}: {h1.num_nodes()} nodes, "
+          f"{h1.num_edges()} edges")
+
+    # Traversing the retrieved graph (paper's HistNode / HistEdge API).
+    nodes = h1.get_nodes()
+    if nodes:
+        first = nodes[0]
+        neighbors = first.get_neighbors()
+        print(f"node {first.node_id} has {len(neighbors)} neighbours; "
+              f"attr0={first.get_attribute('attr0')!r}")
+        if neighbors:
+            edge = h1.get_edge_obj(first, neighbors[0])
+            print(f"edge between them: {edge}")
+
+    # ------------------------------------------------------------------
+    # 3b. Multipoint retrieval (structure only): one query, many snapshots.
+    # ------------------------------------------------------------------
+    times = [events.start_time + (events.end_time - events.start_time) * i // 5
+             for i in range(1, 5)]
+    views = gm.get_hist_graphs(times)
+    print("\ngrowth over time:")
+    for view in views:
+        print(f"  t={view.time}: {view.num_nodes()} nodes / "
+              f"{view.num_edges()} edges")
+    print(f"GraphPool holds {gm.pool.active_graph_count()} graphs in "
+          f"{gm.pool.union_entry_count()} union entries "
+          f"(vs {gm.pool.disjoint_memory_entries()} if stored separately)")
+
+    # ------------------------------------------------------------------
+    # 3c. A TimeExpression: what existed at the end but not in the middle?
+    # ------------------------------------------------------------------
+    diff = gm.get_hist_graph_expression(
+        TimeExpression([events.end_time, middle], "t1 and not t2"))
+    print(f"\nelements added after t={middle}: {len(diff.to_snapshot())} "
+          f"({diff.num_nodes()} nodes, {diff.num_edges()} edges)")
+
+    # ------------------------------------------------------------------
+    # 4. Release what we no longer need; the cleaner reclaims memory lazily.
+    # ------------------------------------------------------------------
+    for view in views:
+        gm.release(view)
+    removed = gm.cleanup()
+    print(f"\nreleased {len(views)} snapshots; cleaner removed {removed} entries")
+
+
+if __name__ == "__main__":
+    main()

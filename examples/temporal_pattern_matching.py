@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Subgraph pattern matching over historical data via an auxiliary index.
+
+Reproduces the extensibility example of Section 4.7: nodes of a growing
+network are assigned one of ten random labels, a *path index* over
+label-paths is maintained as DeltaGraph auxiliary information, and a
+node-labeled pattern is matched against every historical leaf snapshot,
+reporting all occurrences over the network's history.
+
+Run with:  python examples/temporal_pattern_matching.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.auxindex.path_index import PathIndex
+from repro.auxindex.pattern_match import HistoricalPatternMatchQuery, PatternGraph
+from repro.core.deltagraph import DeltaGraph
+from repro.core.events import EventList, new_edge, new_node
+
+LABELS = [f"L{i}" for i in range(10)]
+
+
+def generate_labeled_trace(num_nodes: int = 150, num_edges: int = 450,
+                           seed: int = 3) -> EventList:
+    """A growing network whose nodes carry one of ten random labels."""
+    rng = random.Random(seed)
+    events = []
+    for node_id in range(num_nodes):
+        events.append(new_node(node_id + 1, node_id,
+                               {"label": rng.choice(LABELS)}))
+    added = set()
+    edge_id = 0
+    time = num_nodes + 1
+    while edge_id < num_edges:
+        a, b = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        key = (min(a, b), max(a, b))
+        if a == b or key in added:
+            continue
+        added.add(key)
+        events.append(new_edge(time, edge_id, a, b))
+        edge_id += 1
+        time += 1
+    return EventList(events)
+
+
+def main() -> None:
+    events = generate_labeled_trace()
+    path_index = PathIndex(label_attr="label", path_length=3)
+    print("building DeltaGraph with the path auxiliary index ...")
+    index = DeltaGraph.build(events, leaf_eventlist_size=120, arity=4,
+                             differential_functions=("intersection",),
+                             aux_indexes=[path_index])
+    print("index:", index.describe())
+
+    # The pattern: an L0 node connected to an L1 node connected to an L2 node,
+    # with an extra L3 neighbour hanging off the middle node.
+    pattern = PatternGraph(
+        labels={"a": "L0", "b": "L1", "c": "L2", "d": "L3"},
+        edges=[("a", "b"), ("b", "c"), ("b", "d")])
+    print(f"\npattern: {pattern.labels} with edges {pattern.edges}")
+
+    query = HistoricalPatternMatchQuery(path_index, pattern)
+    result = query.run(index)
+    print(f"total matches over the entire history: {result['total_matches']}")
+    print("matches per indexed timepoint:")
+    for time, matches in sorted(result["per_time"].items()):
+        print(f"  t={time:>6d}: {len(matches)} matches")
+
+    # Show a few concrete matches from the final snapshot.
+    final_time = max(result["per_time"])
+    sample = result["per_time"][final_time][:5]
+    print(f"\nexample matches at t={final_time}:")
+    for match in sample:
+        print("  " + ", ".join(f"{var}->n{node}" for var, node in sorted(match.items())))
+
+    # The same auxiliary index also answers "which label paths existed at
+    # time X" directly, without pattern matching:
+    midpoint = events.end_time // 2
+    aux_state = index.get_aux_snapshot("paths", midpoint)
+    print(f"\nthe path index at t={midpoint} holds {len(aux_state)} "
+          f"label-paths of length {path_index.path_length}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — reproduction of "Efficient Snapshot Retrieval over Historical Graph Data".
+
+A pure-Python historical graph database built around two data structures
+from the ICDE 2013 paper by Khurana and Deshpande:
+
+* :class:`~repro.core.deltagraph.DeltaGraph` — a hierarchical, tunable,
+  delta-based index over the history of a network supporting fast retrieval
+  of snapshots as of arbitrary past timepoints, and
+* :class:`~repro.graphpool.pool.GraphPool` — an in-memory structure that
+  overlays many retrieved snapshots on a single union graph using
+  per-element bitmaps.
+
+The top-level package re-exports the most commonly used classes; see
+``README.md`` for a quickstart and ``DESIGN.md`` for the system inventory.
+"""
+
+from .core import (
+    DeltaGraph,
+    DeltaGraphConfig,
+    Event,
+    EventList,
+    EventType,
+    GraphSnapshot,
+    get_differential_function,
+)
+from .errors import (
+    ConfigurationError,
+    DeltaGraphIndexError,
+    EventError,
+    GraphPoolError,
+    QueryError,
+    ReproError,
+    StorageError,
+    TimeOutOfRangeError,
+)
+from .storage import DiskKVStore, InMemoryKVStore, InstrumentedKVStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeltaGraph",
+    "DeltaGraphConfig",
+    "Event",
+    "EventList",
+    "EventType",
+    "GraphSnapshot",
+    "get_differential_function",
+    "ConfigurationError",
+    "DeltaGraphIndexError",
+    "EventError",
+    "GraphPoolError",
+    "QueryError",
+    "ReproError",
+    "StorageError",
+    "TimeOutOfRangeError",
+    "DiskKVStore",
+    "InMemoryKVStore",
+    "InstrumentedKVStore",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Graph analysis algorithms and temporal-evolution helpers."""
+
+from .algorithms import (
+    connected_components,
+    count_triangles,
+    degree_distribution,
+    estimate_diameter,
+    pagerank,
+    top_k_by_score,
+)
+from .evolution import (
+    SnapshotSeries,
+    centrality_evolution,
+    density_series,
+    growth_series,
+    rank_evolution,
+)
+
+__all__ = [
+    "connected_components",
+    "count_triangles",
+    "degree_distribution",
+    "estimate_diameter",
+    "pagerank",
+    "top_k_by_score",
+    "SnapshotSeries",
+    "centrality_evolution",
+    "density_series",
+    "growth_series",
+    "rank_evolution",
+]

@@ -1,0 +1,146 @@
+"""In-memory graph algorithms used by the examples and benchmarks.
+
+These run on anything exposing ``adjacency()`` (a
+:class:`~repro.core.snapshot.GraphSnapshot` or a
+:class:`~repro.graphpool.histgraph.HistGraph` view), so the same analysis
+code works on a plain snapshot and on a bitmap-filtered GraphPool view —
+which is how the paper's "bitmap penalty" experiment compares the two.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "pagerank",
+    "degree_distribution",
+    "connected_components",
+    "count_triangles",
+    "estimate_diameter",
+    "top_k_by_score",
+]
+
+
+def _adjacency(graph) -> Dict[object, Set[object]]:
+    adjacency = graph.adjacency() if hasattr(graph, "adjacency") else dict(graph)
+    normalized = {v: set(neighbors) for v, neighbors in adjacency.items()}
+    for neighbors in list(normalized.values()):
+        for neighbor in neighbors:
+            normalized.setdefault(neighbor, set())
+    return normalized
+
+
+def pagerank(graph, damping: float = 0.85, iterations: int = 20,
+             tolerance: float = 1e-9) -> Dict[object, float]:
+    """Power-iteration PageRank; dangling mass is redistributed uniformly."""
+    adjacency = _adjacency(graph)
+    n = len(adjacency)
+    if n == 0:
+        return {}
+    rank = {v: 1.0 / n for v in adjacency}
+    for _ in range(iterations):
+        new_rank = {v: (1.0 - damping) / n for v in adjacency}
+        dangling_mass = sum(rank[v] for v, nbrs in adjacency.items() if not nbrs)
+        for v, neighbors in adjacency.items():
+            if not neighbors:
+                continue
+            share = damping * rank[v] / len(neighbors)
+            for neighbor in neighbors:
+                new_rank[neighbor] += share
+        if dangling_mass:
+            bonus = damping * dangling_mass / n
+            for v in new_rank:
+                new_rank[v] += bonus
+        change = sum(abs(new_rank[v] - rank[v]) for v in adjacency)
+        rank = new_rank
+        if change < tolerance:
+            break
+    return rank
+
+
+def degree_distribution(graph) -> Dict[int, int]:
+    """Histogram mapping degree -> number of nodes with that degree."""
+    adjacency = _adjacency(graph)
+    histogram: Dict[int, int] = {}
+    for neighbors in adjacency.values():
+        histogram[len(neighbors)] = histogram.get(len(neighbors), 0) + 1
+    return histogram
+
+
+def connected_components(graph) -> List[Set[object]]:
+    """Connected components (treating every edge as undirected)."""
+    adjacency = _adjacency(graph)
+    undirected: Dict[object, Set[object]] = {v: set() for v in adjacency}
+    for v, neighbors in adjacency.items():
+        for neighbor in neighbors:
+            undirected[v].add(neighbor)
+            undirected[neighbor].add(v)
+    seen: Set[object] = set()
+    components: List[Set[object]] = []
+    for start in undirected:
+        if start in seen:
+            continue
+        queue = deque([start])
+        component = {start}
+        seen.add(start)
+        while queue:
+            node = queue.popleft()
+            for neighbor in undirected[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    return components
+
+
+def count_triangles(graph) -> int:
+    """Number of triangles (on the undirected view of the graph)."""
+    adjacency = _adjacency(graph)
+    undirected: Dict[object, Set[object]] = {v: set() for v in adjacency}
+    for v, neighbors in adjacency.items():
+        for neighbor in neighbors:
+            if neighbor != v:
+                undirected[v].add(neighbor)
+                undirected[neighbor].add(v)
+    count = 0
+    for v, neighbors in undirected.items():
+        for u in neighbors:
+            if u <= v:
+                continue
+            count += len(undirected[v] & undirected[u] - {v, u})
+    # every triangle counted once per its smallest two vertices' edge -> /1?
+    # Each triangle {a<b<c} is counted for pairs (a,b),(a,c),(b,c) once each
+    # when the third vertex is in both neighbourhoods -> counted 3 times.
+    return count // 3
+
+
+def estimate_diameter(graph, num_sources: int = 8) -> int:
+    """Lower-bound estimate of the diameter via BFS from a few sources."""
+    adjacency = _adjacency(graph)
+    undirected: Dict[object, Set[object]] = {v: set() for v in adjacency}
+    for v, neighbors in adjacency.items():
+        for neighbor in neighbors:
+            undirected[v].add(neighbor)
+            undirected[neighbor].add(v)
+    nodes = sorted(undirected, key=lambda v: -len(undirected[v]))[:num_sources]
+    best = 0
+    for source in nodes:
+        distances = {source: 0}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for neighbor in undirected[node]:
+                if neighbor not in distances:
+                    distances[neighbor] = distances[node] + 1
+                    queue.append(neighbor)
+        if distances:
+            best = max(best, max(distances.values()))
+    return best
+
+
+def top_k_by_score(scores: Dict[object, float], k: int = 10
+                   ) -> List[Tuple[object, float]]:
+    """The ``k`` highest-scoring entries, ties broken by key."""
+    return sorted(scores.items(), key=lambda item: (-item[1], str(item[0])))[:k]

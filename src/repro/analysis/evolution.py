@@ -1,0 +1,79 @@
+"""Temporal / evolutionary analysis helpers.
+
+These implement the kinds of dynamic-network analyses the paper's
+introduction motivates (and its Figure 1 illustrates): tracking how
+centrality scores, densities, and other per-snapshot measures evolve across
+a series of historical snapshots retrieved through the DeltaGraph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.snapshot import GraphSnapshot
+from .algorithms import pagerank, top_k_by_score
+
+__all__ = ["SnapshotSeries", "centrality_evolution", "rank_evolution",
+           "density_series", "growth_series"]
+
+
+@dataclass
+class SnapshotSeries:
+    """A chronological series of snapshots plus per-snapshot measurements."""
+
+    times: List[int]
+    values: List[object]
+
+    def as_pairs(self) -> List[Tuple[int, object]]:
+        """``(time, value)`` pairs."""
+        return list(zip(self.times, self.values))
+
+
+def _measure_over(snapshots: Sequence, measure: Callable) -> SnapshotSeries:
+    times = [getattr(s, "time", i) for i, s in enumerate(snapshots)]
+    return SnapshotSeries(times=times, values=[measure(s) for s in snapshots])
+
+
+def centrality_evolution(snapshots: Sequence, iterations: int = 20
+                         ) -> SnapshotSeries:
+    """PageRank score maps for each snapshot in the series."""
+    return _measure_over(snapshots,
+                         lambda s: pagerank(s, iterations=iterations))
+
+
+def rank_evolution(snapshots: Sequence, track_top_k: int = 25,
+                   iterations: int = 20) -> Dict[object, List[Optional[int]]]:
+    """Evolution of PageRank *ranks* for the final snapshot's top-k nodes.
+
+    Reproduces the analysis behind the paper's Figure 1: compute PageRank on
+    every snapshot, identify the nodes ranked in the top ``k`` in the most
+    recent snapshot, and report each such node's rank in every earlier
+    snapshot (``None`` when the node does not exist yet).
+    """
+    score_series = centrality_evolution(snapshots, iterations=iterations)
+    final_scores = score_series.values[-1]
+    tracked = [node for node, _ in top_k_by_score(final_scores, track_top_k)]
+    evolution: Dict[object, List[Optional[int]]] = {node: [] for node in tracked}
+    for scores in score_series.values:
+        ordering = [node for node, _ in
+                    sorted(scores.items(), key=lambda kv: (-kv[1], str(kv[0])))]
+        position = {node: rank + 1 for rank, node in enumerate(ordering)}
+        for node in tracked:
+            evolution[node].append(position.get(node))
+    return evolution
+
+
+def density_series(snapshots: Sequence[GraphSnapshot]) -> SnapshotSeries:
+    """Edge density (|E| / |V|) for each snapshot (the "average monthly
+    density since 1997" style of query from the introduction)."""
+    def density(snapshot) -> float:
+        nodes = snapshot.num_nodes()
+        return snapshot.num_edges() / nodes if nodes else 0.0
+    return _measure_over(snapshots, density)
+
+
+def growth_series(snapshots: Sequence[GraphSnapshot]) -> SnapshotSeries:
+    """``(num_nodes, num_edges)`` per snapshot."""
+    return _measure_over(snapshots,
+                         lambda s: (s.num_nodes(), s.num_edges()))

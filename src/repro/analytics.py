@@ -1,0 +1,205 @@
+"""Analytical models for DeltaGraph space and retrieval cost (Section 5).
+
+The paper derives closed-form estimates, under a constant-rate model of
+graph dynamics, for:
+
+* the per-level delta sizes and the total index space of the **Balanced**
+  differential function,
+* the size of the root (and total space bounds) of the **Intersection**
+  function for the special cases ``ρ* = 0``, ``δ* = ρ*`` and ``δ* = 2ρ*``,
+* the shortest-path weight from the super-root to a leaf (the amount of data
+  a singlepoint query must fetch) for both functions.
+
+These formulas guide parameter choice (leaf size ``L``, arity ``k``, choice
+of function); the benchmark ``benchmarks/test_sec5_analytical_models.py``
+compares them against measurements on constructed indexes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["GraphDynamicsModel", "BalancedModel", "IntersectionModel"]
+
+
+@dataclass(frozen=True)
+class GraphDynamicsModel:
+    """Constant-rate model of graph dynamics (Section 5.1).
+
+    ``initial_size`` is ``|G_0|`` (number of elements), ``num_events`` is
+    ``|E|``, ``insert_fraction`` (δ*) and ``delete_fraction`` (ρ*) are the
+    fractions of events that add / remove an element; their sum may be below
+    one because of transient events.
+    """
+
+    initial_size: int
+    num_events: int
+    insert_fraction: float
+    delete_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.insert_fraction < 0 or self.delete_fraction < 0:
+            raise ValueError("event fractions must be non-negative")
+        if self.insert_fraction + self.delete_fraction > 1.0 + 1e-9:
+            raise ValueError("insert_fraction + delete_fraction must be <= 1")
+
+    @property
+    def churn_fraction(self) -> float:
+        """δ* + ρ* — the fraction of events that change the element set."""
+        return self.insert_fraction + self.delete_fraction
+
+    @property
+    def is_growing_only(self) -> bool:
+        """ρ* == 0 (Dataset-1-style graphs)."""
+        return self.delete_fraction == 0
+
+    def final_size(self) -> float:
+        """``|G_|E||  = |G_0| + |E|·δ* − |E|·ρ*``."""
+        return (self.initial_size
+                + self.num_events * (self.insert_fraction - self.delete_fraction))
+
+    def size_after(self, events: int) -> float:
+        """Expected graph size after the first ``events`` events."""
+        return (self.initial_size
+                + events * (self.insert_fraction - self.delete_fraction))
+
+    @classmethod
+    def from_trace(cls, events, initial_size: int = 0) -> "GraphDynamicsModel":
+        """Estimate δ*, ρ* from an actual event trace."""
+        from .core.events import EventType
+        inserts = deletes = total = 0
+        for event in events:
+            total += 1
+            if event.type in (EventType.NODE_ADD, EventType.EDGE_ADD):
+                inserts += 1
+            elif event.type in (EventType.NODE_DELETE, EventType.EDGE_DELETE):
+                deletes += 1
+        if total == 0:
+            return cls(initial_size, 0, 0.0, 0.0)
+        return cls(initial_size, total, inserts / total, deletes / total)
+
+
+@dataclass(frozen=True)
+class BalancedModel:
+    """Section 5.3 estimates for the Balanced differential function."""
+
+    dynamics: GraphDynamicsModel
+    leaf_eventlist_size: int
+    arity: int
+
+    @property
+    def num_leaves(self) -> float:
+        """``N = |E| / L + 1``."""
+        return self.dynamics.num_events / self.leaf_eventlist_size + 1
+
+    @property
+    def num_levels(self) -> float:
+        """``log_k N`` — the number of interior levels above the leaves."""
+        if self.num_leaves <= 1:
+            return 1.0
+        return math.log(self.num_leaves, self.arity)
+
+    def delta_size_at_level(self, level: int) -> float:
+        """``|∆(p, c_i)|`` for an interior node at the given level (leaves = 1).
+
+        Level 2 (parents of leaves): ``(k−1)(δ*+ρ*)L / 2``; each level up
+        multiplies by ``k`` (the children are ``k`` times further apart in
+        events).
+        """
+        if level < 2:
+            return 0.0
+        k = self.arity
+        churn = self.dynamics.churn_fraction
+        return 0.5 * (k - 1) * churn * self.leaf_eventlist_size * k ** (level - 2)
+
+    def space_per_level(self) -> float:
+        """Total delta space per interior level: ``(k−1)(δ*+ρ*)|E| / 2``.
+
+        The paper's observation: this is *independent of the level*, because
+        the per-delta size grows by ``k`` exactly as the number of edges per
+        level shrinks by ``k``.
+        """
+        return 0.5 * (self.arity - 1) * self.dynamics.churn_fraction * \
+            self.dynamics.num_events
+
+    def total_delta_space(self) -> float:
+        """``(log_k N − 1)/2 · (k−1)(δ*+ρ*)|E|`` plus nothing for the root edge."""
+        levels_above_leaves = max(self.num_levels - 1, 0)
+        return levels_above_leaves * self.space_per_level()
+
+    def root_size(self) -> float:
+        """``|G_0| + (δ*−ρ*)|E| / 2`` — independent of the arity."""
+        return (self.dynamics.initial_size
+                + 0.5 * (self.dynamics.insert_fraction
+                         - self.dynamics.delete_fraction)
+                * self.dynamics.num_events)
+
+    def query_fetch_size(self) -> float:
+        """Shortest-path weight super-root -> any leaf: ``(δ*+ρ*)|E| / 2``.
+
+        Independent of which leaf, i.e. Balanced gives uniform retrieval
+        latencies over the (event-indexed) history.
+        """
+        return 0.5 * self.dynamics.churn_fraction * self.dynamics.num_events
+
+
+@dataclass(frozen=True)
+class IntersectionModel:
+    """Section 5.3 estimates for the Intersection differential function."""
+
+    dynamics: GraphDynamicsModel
+    leaf_eventlist_size: int
+    arity: int
+
+    def root_size(self) -> float:
+        """Size of the root for the three special cases analysed in the paper.
+
+        * growing-only (ρ* = 0): the root is exactly ``G_0``;
+        * δ* = ρ* (constant size): ``|G_0| · exp(−|E|δ*/|G_0|)``;
+        * δ* = 2ρ*: ``|G_0|² / (|G_0| + ρ*|E|)``.
+
+        Other regimes have no closed form in the paper; a linear
+        interpolation between the nearest special cases is returned.
+        """
+        d = self.dynamics
+        if d.initial_size == 0:
+            return 0.0
+        if d.delete_fraction == 0:
+            return float(d.initial_size)
+        if math.isclose(d.insert_fraction, d.delete_fraction, rel_tol=1e-6):
+            return d.initial_size * math.exp(
+                -d.num_events * d.insert_fraction / d.initial_size)
+        if math.isclose(d.insert_fraction, 2 * d.delete_fraction, rel_tol=1e-6):
+            return d.initial_size ** 2 / (d.initial_size
+                                          + d.delete_fraction * d.num_events)
+        # Interpolate between the δ*=ρ* and δ*=2ρ* formulas by the ratio.
+        ratio = d.insert_fraction / max(d.delete_fraction, 1e-12)
+        equal = d.initial_size * math.exp(
+            -d.num_events * d.insert_fraction / d.initial_size)
+        double = d.initial_size ** 2 / (d.initial_size
+                                        + d.delete_fraction * d.num_events)
+        weight = min(max(ratio - 1.0, 0.0), 1.0)
+        return (1 - weight) * equal + weight * double
+
+    def query_fetch_size(self, leaf_index: int) -> float:
+        """Shortest-path weight to leaf ``i``: exactly the size of that leaf.
+
+        (An interior node's elements are a subset of each child's, so only
+        the missing elements are fetched.)  Latencies are therefore skewed:
+        for a growing graph, newer (larger) snapshots take longer.
+        """
+        events_before = leaf_index * self.leaf_eventlist_size
+        return max(self.dynamics.size_after(events_before), 0.0)
+
+    def total_delta_space_bounds(self) -> tuple:
+        """(lower, upper) bounds on total space: between O(|E|) and O(|E| log N).
+
+        The paper places Intersection between the interval tree's linear
+        space and the segment tree's ``|E| log |E|``; we return those two
+        extremes for the configured workload.
+        """
+        num_leaves = self.dynamics.num_events / self.leaf_eventlist_size + 1
+        levels = max(math.log(max(num_leaves, 2), self.arity), 1.0)
+        linear = self.dynamics.churn_fraction * self.dynamics.num_events
+        return linear, linear * levels

@@ -1,0 +1,31 @@
+"""DeltaGraph extensibility: auxiliary indexes and queries over them."""
+
+from .framework import (
+    AuxHistQuery,
+    AuxHistQueryInterval,
+    AuxHistQueryPoint,
+    AuxIndex,
+    AuxiliaryDelta,
+    AuxiliaryEvent,
+)
+from .path_index import PathIndex, candidate_paths, path_key
+from .pattern_match import (
+    HistoricalPatternMatchQuery,
+    PatternGraph,
+    match_pattern_in_snapshot,
+)
+
+__all__ = [
+    "AuxHistQuery",
+    "AuxHistQueryInterval",
+    "AuxHistQueryPoint",
+    "AuxIndex",
+    "AuxiliaryDelta",
+    "AuxiliaryEvent",
+    "PathIndex",
+    "candidate_paths",
+    "path_key",
+    "HistoricalPatternMatchQuery",
+    "PatternGraph",
+    "match_pattern_in_snapshot",
+]

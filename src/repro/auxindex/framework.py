@@ -1,0 +1,228 @@
+"""Extensibility framework: auxiliary indexes over the DeltaGraph (Section 4.7).
+
+The DeltaGraph can maintain and index *auxiliary information* alongside the
+graph data: the user supplies functions that (a) turn plain graph events
+into auxiliary events, (b) roll auxiliary events up into per-leaf auxiliary
+snapshots, and (c) combine children's auxiliary snapshots into the parent's
+(an auxiliary differential function).  The auxiliary data then rides along
+on every delta/eventlist as an extra columnar component, so it can be
+retrieved as of any time point with the same planning machinery.
+
+An auxiliary snapshot is a flat dictionary of key/value pairs and an
+auxiliary event records one key's change — exactly the
+``AuxiliarySnapshot`` / ``AuxiliaryEvent`` structures of the paper.
+
+Concrete indexes subclass :class:`AuxIndex`; queries subclass one of
+:class:`AuxHistQueryPoint`, :class:`AuxHistQueryInterval`, or
+:class:`AuxHistQuery` depending on their temporal nature.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.events import Event
+from ..core.snapshot import GraphSnapshot
+
+__all__ = ["AuxiliaryEvent", "AuxiliaryDelta", "AuxIndex",
+           "AuxHistQuery", "AuxHistQueryPoint", "AuxHistQueryInterval"]
+
+#: An auxiliary snapshot is a plain mapping of string-able keys to values.
+AuxSnapshot = Dict
+
+
+@dataclass(frozen=True)
+class AuxiliaryEvent:
+    """An atomic change to an auxiliary snapshot.
+
+    ``old_value`` / ``new_value`` semantics match attribute events:
+    ``old_value is None`` means the key did not exist before,
+    ``new_value is None`` means the key is removed.
+    """
+
+    time: int
+    key: object
+    old_value: object = None
+    new_value: object = None
+
+    def apply(self, state: AuxSnapshot, forward: bool = True) -> None:
+        """Apply the event to ``state`` in place, in either direction."""
+        value = self.new_value if forward else self.old_value
+        if value is None:
+            state.pop(self.key, None)
+        else:
+            state[self.key] = value
+
+
+@dataclass
+class AuxiliaryDelta:
+    """Difference between two auxiliary snapshots (parent -> child)."""
+
+    additions: Dict = None
+    removals: Dict = None
+    changes: Dict = None
+
+    def __post_init__(self) -> None:
+        self.additions = self.additions or {}
+        self.removals = self.removals or {}
+        self.changes = self.changes or {}
+
+    def __len__(self) -> int:
+        return len(self.additions) + len(self.removals) + len(self.changes)
+
+    @classmethod
+    def between(cls, parent: AuxSnapshot, child: AuxSnapshot) -> "AuxiliaryDelta":
+        """Delta whose forward application turns ``parent`` into ``child``."""
+        additions = {k: v for k, v in child.items() if k not in parent}
+        removals = {k: v for k, v in parent.items() if k not in child}
+        changes = {k: (parent[k], child[k])
+                   for k in parent.keys() & child.keys()
+                   if parent[k] != child[k]}
+        return cls(additions, removals, changes)
+
+    def apply(self, state: AuxSnapshot, forward: bool = True) -> AuxSnapshot:
+        """Apply the delta to ``state`` in place and return it."""
+        if forward:
+            for key in self.removals:
+                state.pop(key, None)
+            state.update(self.additions)
+            for key, (_old, new) in self.changes.items():
+                state[key] = new
+        else:
+            for key in self.additions:
+                state.pop(key, None)
+            state.update(self.removals)
+            for key, (old, _new) in self.changes.items():
+                state[key] = old
+        return state
+
+
+class AuxIndex(ABC):
+    """Base class for auxiliary indexes maintained inside a DeltaGraph.
+
+    The DeltaGraph construction calls :meth:`create_aux_event` for every
+    plain event (with the graph state *before* the event), rolls the
+    produced auxiliary events into leaf snapshots via
+    :meth:`create_aux_snapshot`, and builds interior auxiliary snapshots via
+    :meth:`aux_differential`; :meth:`diff` produces the per-edge auxiliary
+    delta that is persisted.  Retrieval uses :meth:`apply_delta` and
+    :meth:`apply_events` to reconstruct the auxiliary snapshot at a time
+    point (``DeltaGraph.get_aux_snapshot``).
+    """
+
+    #: Unique name; the auxiliary component is stored as ``aux:<name>``.
+    name: str = "aux"
+
+    # -- construction-side hooks ------------------------------------------------
+
+    def initial_snapshot(self) -> AuxSnapshot:
+        """The auxiliary snapshot of the empty graph."""
+        return {}
+
+    @abstractmethod
+    def create_aux_event(self, event: Event, graph_before: GraphSnapshot,
+                         aux_state: AuxSnapshot) -> List[AuxiliaryEvent]:
+        """Auxiliary events corresponding to one plain event.
+
+        ``graph_before`` is the graph state before applying ``event``;
+        ``aux_state`` the latest auxiliary snapshot.  May return an empty
+        list when the event does not affect the index.
+        """
+
+    def create_aux_snapshot(self, previous: AuxSnapshot,
+                            aux_events: Sequence[AuxiliaryEvent]) -> AuxSnapshot:
+        """Roll auxiliary events into the next leaf-level auxiliary snapshot."""
+        state = dict(previous)
+        for aux_event in aux_events:
+            aux_event.apply(state, forward=True)
+        return state
+
+    def aux_differential(self, children: Sequence[AuxSnapshot]) -> AuxSnapshot:
+        """Combine children snapshots into the parent snapshot.
+
+        The default is intersection (a key/value pair is kept only when all
+        children agree), matching the paper's pattern-index semantics where
+        a path is associated with an interior node iff it is present in all
+        snapshots below it.
+        """
+        if not children:
+            return {}
+        result = dict(children[0])
+        for child in children[1:]:
+            result = {k: v for k, v in result.items()
+                      if k in child and child[k] == v}
+        return result
+
+    # -- storage hooks ------------------------------------------------------------
+
+    def diff(self, parent: AuxSnapshot, child: AuxSnapshot) -> AuxiliaryDelta:
+        """Auxiliary delta stored on the DeltaGraph edge parent -> child."""
+        return AuxiliaryDelta.between(parent, child)
+
+    def apply_delta(self, state: AuxSnapshot, delta: AuxiliaryDelta,
+                    forward: bool = True) -> AuxSnapshot:
+        """Apply a stored auxiliary delta during retrieval."""
+        return delta.apply(state, forward=forward)
+
+    def apply_events(self, state: AuxSnapshot,
+                     events: Sequence[AuxiliaryEvent],
+                     forward: bool = True) -> AuxSnapshot:
+        """Apply stored auxiliary events (a leaf-eventlist's aux component)."""
+        ordered = events if forward else list(reversed(events))
+        for aux_event in ordered:
+            aux_event.apply(state, forward=forward)
+        return state
+
+
+class AuxHistQuery(ABC):
+    """A query over an auxiliary index spanning the entire history."""
+
+    def __init__(self, index: AuxIndex) -> None:
+        self.index = index
+
+    @abstractmethod
+    def run(self, deltagraph) -> object:
+        """Execute the query against a DeltaGraph carrying ``self.index``."""
+
+
+class AuxHistQueryPoint(AuxHistQuery):
+    """A query against the auxiliary snapshot at a single timepoint."""
+
+    @abstractmethod
+    def run_at(self, aux_state: AuxSnapshot, time: int) -> object:
+        """Evaluate the query on the reconstructed auxiliary snapshot."""
+
+    def run(self, deltagraph, time: Optional[int] = None) -> object:
+        if time is None:
+            raise ValueError("AuxHistQueryPoint.run requires a time")
+        state = deltagraph.get_aux_snapshot(self.index.name, time)
+        return self.run_at(state, time)
+
+
+class AuxHistQueryInterval(AuxHistQuery):
+    """A query over every leaf-level auxiliary snapshot in a time interval."""
+
+    @abstractmethod
+    def run_at(self, aux_state: AuxSnapshot, time: int) -> object:
+        """Evaluate the query on one auxiliary snapshot."""
+
+    def combine(self, partials: List[object]) -> object:
+        """Combine per-timepoint results (default: return the list)."""
+        return partials
+
+    def run(self, deltagraph, start: Optional[int] = None,
+            end: Optional[int] = None) -> object:
+        leaves = deltagraph.skeleton.leaves()
+        partials = []
+        for leaf in leaves:
+            if leaf.time is None:
+                continue
+            if start is not None and leaf.time < start:
+                continue
+            if end is not None and leaf.time > end:
+                continue
+            state = deltagraph.get_aux_snapshot(self.index.name, leaf.time)
+            partials.append(self.run_at(state, leaf.time))
+        return self.combine(partials)

@@ -1,0 +1,179 @@
+"""Subgraph pattern matching over historical graphs via the path index.
+
+Implements the query side of the paper's extensibility example: a
+node-labeled *pattern graph* is decomposed into a label path of the index's
+path length, the path index supplies candidate node paths, and the
+candidates are expanded/verified against the data graph snapshot to produce
+full pattern matches.  :class:`HistoricalPatternMatchQuery` runs the match
+at every leaf timepoint and reports all occurrences over the history of the
+network (the paper reports 14,109 matches over Dataset 1's history for one
+example pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.snapshot import GraphSnapshot
+from .framework import AuxHistQueryInterval, AuxSnapshot
+from .path_index import PathIndex, candidate_paths
+
+__all__ = ["PatternGraph", "match_pattern_in_snapshot",
+           "HistoricalPatternMatchQuery"]
+
+
+@dataclass
+class PatternGraph:
+    """A small node-labeled query graph.
+
+    ``labels`` maps pattern-vertex names to required labels; ``edges`` is a
+    list of (undirected) pattern edges between vertex names.
+    """
+
+    labels: Dict[str, str]
+    edges: List[Tuple[str, str]]
+
+    def adjacency(self) -> Dict[str, Set[str]]:
+        adjacency: Dict[str, Set[str]] = {v: set() for v in self.labels}
+        for a, b in self.edges:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        return adjacency
+
+    def spine(self, length: int) -> Optional[List[str]]:
+        """A simple path of ``length`` pattern vertices, if one exists.
+
+        The paper notes a pattern of the required size always contains at
+        least one such path; we search for it by DFS.
+        """
+        adjacency = self.adjacency()
+
+        def dfs(path: List[str]) -> Optional[List[str]]:
+            if len(path) == length:
+                return path
+            for neighbor in sorted(adjacency[path[-1]]):
+                if neighbor not in path:
+                    found = dfs(path + [neighbor])
+                    if found:
+                        return found
+            return None
+
+        for start in sorted(self.labels):
+            found = dfs([start])
+            if found:
+                return found
+        return None
+
+
+def _verify_assignment(pattern: PatternGraph, assignment: Dict[str, int],
+                       snapshot: GraphSnapshot,
+                       adjacency: Dict[int, Set[int]],
+                       label_attr: str) -> bool:
+    """Whether a complete vertex assignment satisfies labels and edges."""
+    if len(set(assignment.values())) != len(assignment):
+        return False
+    for vertex, node in assignment.items():
+        if str(snapshot.get_node_attr(node, label_attr, "?")) != \
+                pattern.labels[vertex]:
+            return False
+    for a, b in pattern.edges:
+        na, nb = assignment[a], assignment[b]
+        if nb not in adjacency.get(na, set()) and \
+                na not in adjacency.get(nb, set()):
+            return False
+    return True
+
+
+def match_pattern_in_snapshot(pattern: PatternGraph, snapshot: GraphSnapshot,
+                              aux_state: AuxSnapshot, index: PathIndex
+                              ) -> List[Dict[str, int]]:
+    """All matches of ``pattern`` in one snapshot, seeded by the path index.
+
+    The pattern's spine (a label path of the index's length) is looked up in
+    the auxiliary snapshot; every candidate node path fixes the spine
+    vertices, and the remaining pattern vertices are bound by backtracking
+    over the snapshot's adjacency.
+    """
+    spine = pattern.spine(index.path_length)
+    if spine is None:
+        raise ValueError(
+            f"pattern has no simple path of {index.path_length} vertices")
+    spine_labels = [pattern.labels[v] for v in spine]
+    adjacency = snapshot.adjacency()
+    matches: List[Dict[str, int]] = []
+    seen: Set[FrozenSet[Tuple[str, int]]] = set()
+    remaining_vertices = [v for v in pattern.labels if v not in spine]
+    pattern_adjacency = pattern.adjacency()
+
+    def bind_rest(assignment: Dict[str, int], todo: List[str]) -> None:
+        if not todo:
+            if _verify_assignment(pattern, assignment, snapshot, adjacency,
+                                  index.label_attr):
+                frozen = frozenset(assignment.items())
+                if frozen not in seen:
+                    seen.add(frozen)
+                    matches.append(dict(assignment))
+            return
+        vertex = todo[0]
+        # Candidate data nodes: neighbours of already-bound pattern neighbours,
+        # or (as a fallback) any node with the right label.
+        bound_neighbors = [assignment[n] for n in pattern_adjacency[vertex]
+                           if n in assignment]
+        if bound_neighbors:
+            candidates: Set[int] = set(adjacency.get(bound_neighbors[0], set()))
+            for node in bound_neighbors[1:]:
+                candidates &= adjacency.get(node, set())
+        else:
+            candidates = set(snapshot.node_ids())
+        wanted_label = pattern.labels[vertex]
+        for node in candidates:
+            if node in assignment.values():
+                continue
+            if str(snapshot.get_node_attr(node, index.label_attr, "?")) != \
+                    wanted_label:
+                continue
+            assignment[vertex] = node
+            bind_rest(assignment, todo[1:])
+            del assignment[vertex]
+
+    for node_path in candidate_paths(aux_state, spine_labels):
+        if any(not snapshot.has_node(n) for n in node_path):
+            continue
+        for oriented in (node_path, tuple(reversed(node_path))):
+            assignment = dict(zip(spine, oriented))
+            bind_rest(assignment, remaining_vertices)
+    return matches
+
+
+class HistoricalPatternMatchQuery(AuxHistQueryInterval):
+    """Find all occurrences of a pattern over the history of the network.
+
+    For each leaf timepoint in the (optional) interval, the auxiliary path
+    index and the graph snapshot are reconstructed and the pattern matched;
+    the result maps each timepoint to its matches plus a total count.
+    """
+
+    def __init__(self, index: PathIndex, pattern: PatternGraph) -> None:
+        super().__init__(index)
+        self.pattern = pattern
+        self._deltagraph = None
+
+    def run_at(self, aux_state: AuxSnapshot, time: int) -> Tuple[int, List[Dict]]:
+        snapshot = self._deltagraph.get_snapshot(time)
+        matches = match_pattern_in_snapshot(self.pattern, snapshot, aux_state,
+                                            self.index)
+        return time, matches
+
+    def combine(self, partials: List[Tuple[int, List[Dict]]]) -> Dict:
+        per_time = {time: matches for time, matches in partials}
+        total = sum(len(matches) for matches in per_time.values())
+        return {"per_time": per_time, "total_matches": total}
+
+    def run(self, deltagraph, start: Optional[int] = None,
+            end: Optional[int] = None) -> Dict:
+        self._deltagraph = deltagraph
+        try:
+            return super().run(deltagraph, start=start, end=end)
+        finally:
+            self._deltagraph = None

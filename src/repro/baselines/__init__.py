@@ -1,0 +1,27 @@
+"""Baseline snapshot-retrieval approaches the paper compares against.
+
+* :class:`~repro.baselines.interval_tree.IntervalTreeSnapshotStore` — an
+  in-memory interval tree answering stabbing queries (Figure 7),
+* :class:`~repro.baselines.copy_log.CopyLogStore` — periodic full snapshots
+  plus eventlists (Figure 6),
+* :class:`~repro.baselines.log_store.LogStore` — events only, full replay per
+  query (the in-text 20–23x comparison).
+"""
+
+from .copy_log import CopyLogStore
+from .interval_tree import (
+    ElementInterval,
+    IntervalTree,
+    IntervalTreeSnapshotStore,
+    build_intervals_from_events,
+)
+from .log_store import LogStore
+
+__all__ = [
+    "CopyLogStore",
+    "ElementInterval",
+    "IntervalTree",
+    "IntervalTreeSnapshotStore",
+    "build_intervals_from_events",
+    "LogStore",
+]

@@ -1,0 +1,114 @@
+"""Core of the reproduction: the event model and the DeltaGraph index.
+
+This package contains the paper's primary contribution (the DeltaGraph
+hierarchical delta index, Section 4) together with the data model it is
+built on: events, snapshots represented as collections of objects, deltas,
+differential functions, the in-memory skeleton used for query planning, and
+horizontal partitioning.
+"""
+
+from .delta import DELTA_COMPONENTS, Delta, DeltaStats
+from .deltagraph import (
+    MAIN_COMPONENTS,
+    DeltaGraph,
+    DeltaGraphConfig,
+    QueryPlan,
+    split_events_by_component,
+)
+from .differential import (
+    BalancedFunction,
+    DifferentialFunction,
+    EmptyFunction,
+    IntersectionFunction,
+    LeftSkewedFunction,
+    MixedFunction,
+    RightSkewedFunction,
+    SkewedFunction,
+    UnionFunction,
+    get_differential_function,
+)
+from .events import (
+    Event,
+    EventList,
+    EventType,
+    delete_edge,
+    delete_node,
+    new_edge,
+    new_node,
+    transient_edge,
+    transient_node,
+    update_edge_attr,
+    update_node_attr,
+)
+from .partition import HashPartitioner
+from .skeleton import (
+    SUPER_ROOT_ID,
+    DeltaGraphSkeleton,
+    EdgeKind,
+    NodeKind,
+    PlanStep,
+    SkeletonEdge,
+    SkeletonNode,
+)
+from .snapshot import (
+    COMPONENT_EDGEATTR,
+    COMPONENT_NODEATTR,
+    COMPONENT_STRUCT,
+    COMPONENT_TRANSIENT,
+    EDGE,
+    EDGE_ATTR,
+    NODE,
+    NODE_ATTR,
+    GraphSnapshot,
+    element_component,
+)
+
+__all__ = [
+    "DELTA_COMPONENTS",
+    "Delta",
+    "DeltaStats",
+    "MAIN_COMPONENTS",
+    "DeltaGraph",
+    "DeltaGraphConfig",
+    "QueryPlan",
+    "split_events_by_component",
+    "BalancedFunction",
+    "DifferentialFunction",
+    "EmptyFunction",
+    "IntersectionFunction",
+    "LeftSkewedFunction",
+    "MixedFunction",
+    "RightSkewedFunction",
+    "SkewedFunction",
+    "UnionFunction",
+    "get_differential_function",
+    "Event",
+    "EventList",
+    "EventType",
+    "delete_edge",
+    "delete_node",
+    "new_edge",
+    "new_node",
+    "transient_edge",
+    "transient_node",
+    "update_edge_attr",
+    "update_node_attr",
+    "HashPartitioner",
+    "SUPER_ROOT_ID",
+    "DeltaGraphSkeleton",
+    "EdgeKind",
+    "NodeKind",
+    "PlanStep",
+    "SkeletonEdge",
+    "SkeletonNode",
+    "COMPONENT_EDGEATTR",
+    "COMPONENT_NODEATTR",
+    "COMPONENT_STRUCT",
+    "COMPONENT_TRANSIENT",
+    "EDGE",
+    "EDGE_ATTR",
+    "NODE",
+    "NODE_ATTR",
+    "GraphSnapshot",
+    "element_component",
+]

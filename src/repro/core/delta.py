@@ -1,0 +1,214 @@
+"""Deltas between graph snapshots.
+
+A delta ``∆(S_child, S_parent)`` stored on a DeltaGraph edge contains exactly
+the information needed to construct the child graph from the parent graph
+(Section 4.2 of the paper): the elements that must be *deleted* from the
+parent (``S_parent − S_child``) and those that must be *added*
+(``S_child − S_parent``).  Deltas are stored column-wise — the structural
+part, the node-attribute part, and the edge-attribute part are separate
+key-value entries — so a structure-only query never reads attribute payloads.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .snapshot import (
+    COMPONENT_EDGEATTR,
+    COMPONENT_NODEATTR,
+    COMPONENT_STRUCT,
+    ElementKey,
+    GraphSnapshot,
+    element_component,
+)
+
+__all__ = ["Delta", "DeltaStats", "DELTA_COMPONENTS"]
+
+#: Columnar components a delta is split into for storage.
+DELTA_COMPONENTS = (COMPONENT_STRUCT, COMPONENT_NODEATTR, COMPONENT_EDGEATTR)
+
+
+@dataclass
+class Delta:
+    """A bidirectionally applicable difference between two snapshots.
+
+    ``apply(parent)`` turns the parent graph into the child graph;
+    ``invert()`` produces the delta for the opposite direction.
+
+    Attributes
+    ----------
+    additions:
+        Elements present in the child but not the parent (key -> value).
+    removals:
+        Elements present in the parent but not the child (key -> value as it
+        appears in the parent, so that the delta can be inverted).
+    changes:
+        Elements present in both but with different values: key ->
+        ``(parent_value, child_value)``.
+    """
+
+    additions: Dict[ElementKey, object] = field(default_factory=dict)
+    removals: Dict[ElementKey, object] = field(default_factory=dict)
+    changes: Dict[ElementKey, Tuple[object, object]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def between(cls, parent: GraphSnapshot, child: GraphSnapshot) -> "Delta":
+        """Compute ``∆(child, parent)``: applying it to ``parent`` yields ``child``."""
+        additions: Dict[ElementKey, object] = {}
+        removals: Dict[ElementKey, object] = {}
+        changes: Dict[ElementKey, Tuple[object, object]] = {}
+        parent_elems = parent.elements
+        child_elems = child.elements
+        for key, child_value in child_elems.items():
+            if key not in parent_elems:
+                additions[key] = child_value
+            else:
+                parent_value = parent_elems[key]
+                if parent_value != child_value:
+                    changes[key] = (parent_value, child_value)
+        for key, parent_value in parent_elems.items():
+            if key not in child_elems:
+                removals[key] = parent_value
+        return cls(additions, removals, changes)
+
+    @classmethod
+    def empty(cls) -> "Delta":
+        """The empty delta (parent == child)."""
+        return cls()
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.additions) + len(self.removals) + len(self.changes)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Delta):
+            return NotImplemented
+        return (self.additions == other.additions
+                and self.removals == other.removals
+                and self.changes == other.changes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Delta(+{len(self.additions)}, -{len(self.removals)}, "
+                f"~{len(self.changes)})")
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+
+    def apply(self, snapshot: GraphSnapshot) -> GraphSnapshot:
+        """Apply the delta to ``snapshot`` in place and return it."""
+        snapshot.remove_elements(self.removals.keys())
+        snapshot.add_elements(self.additions.items())
+        snapshot.add_elements(
+            (key, new) for key, (_old, new) in self.changes.items())
+        return snapshot
+
+    def apply_to_copy(self, snapshot: GraphSnapshot,
+                      time: Optional[int] = None) -> GraphSnapshot:
+        """Apply the delta to a copy of ``snapshot`` and return the copy."""
+        return self.apply(snapshot.copy(time=time))
+
+    def invert(self) -> "Delta":
+        """The delta applying in the opposite direction (child -> parent)."""
+        return Delta(
+            additions=dict(self.removals),
+            removals=dict(self.additions),
+            changes={key: (new, old) for key, (old, new) in self.changes.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # columnar split / merge
+    # ------------------------------------------------------------------
+
+    def split_components(self) -> Dict[str, "Delta"]:
+        """Split the delta into its columnar components.
+
+        Returns a mapping from component name (``struct``, ``nodeattr``,
+        ``edgeattr``) to a delta containing only the elements of that
+        component.  Components with no content are still present (empty), so
+        callers can rely on all keys existing.
+        """
+        parts: Dict[str, Delta] = {name: Delta() for name in DELTA_COMPONENTS}
+        for key, value in self.additions.items():
+            parts[element_component(key)].additions[key] = value
+        for key, value in self.removals.items():
+            parts[element_component(key)].removals[key] = value
+        for key, pair in self.changes.items():
+            parts[element_component(key)].changes[key] = pair
+        return parts
+
+    @classmethod
+    def merge_components(cls, parts: Iterable["Delta"]) -> "Delta":
+        """Combine component deltas (inverse of :meth:`split_components`)."""
+        merged = cls()
+        for part in parts:
+            merged.additions.update(part.additions)
+            merged.removals.update(part.removals)
+            merged.changes.update(part.changes)
+        return merged
+
+    # ------------------------------------------------------------------
+    # sizes
+    # ------------------------------------------------------------------
+
+    def component_sizes(self) -> Dict[str, int]:
+        """Number of delta entries per columnar component."""
+        sizes = {name: 0 for name in DELTA_COMPONENTS}
+        for key in self.additions:
+            sizes[element_component(key)] += 1
+        for key in self.removals:
+            sizes[element_component(key)] += 1
+        for key in self.changes:
+            sizes[element_component(key)] += 1
+        return sizes
+
+    def estimated_bytes(self) -> int:
+        """Approximate serialized size, used as an edge weight proxy."""
+        return len(pickle.dumps((self.additions, self.removals, self.changes),
+                                protocol=pickle.HIGHEST_PROTOCOL))
+
+    def stats(self) -> "DeltaStats":
+        """Summary statistics recorded in the DeltaGraph skeleton."""
+        return DeltaStats(component_sizes=self.component_sizes(),
+                          total_entries=len(self))
+
+
+@dataclass(frozen=True)
+class DeltaStats:
+    """Lightweight per-delta statistics kept in the in-memory skeleton.
+
+    The skeleton must stay small (it is traversed by Dijkstra on every
+    query), so it stores only entry counts per component rather than the
+    delta contents.
+    """
+
+    component_sizes: Mapping[str, int]
+    total_entries: int
+
+    def weight(self, components: Optional[Iterable[str]] = None) -> float:
+        """Edge weight for query planning, restricted to ``components``.
+
+        When ``components`` is ``None`` all components contribute, matching a
+        query that fetches structure plus every attribute.
+        """
+        if components is None:
+            return float(self.total_entries)
+        return float(sum(self.component_sizes.get(c, 0) for c in components))
+
+    @classmethod
+    def zero(cls) -> "DeltaStats":
+        """Stats for an empty delta (used for materialized shortcut edges)."""
+        return cls(component_sizes={name: 0 for name in DELTA_COMPONENTS},
+                   total_entries=0)

@@ -1,0 +1,992 @@
+"""The DeltaGraph index (Section 4 of the paper).
+
+A DeltaGraph is a rooted, directed, largely hierarchical graph whose lowest
+level corresponds to equi-spaced historical snapshots of the network (never
+stored explicitly) and whose interior nodes are synthetic graphs produced by
+a *differential function* over their children.  Edges store *deltas*
+sufficient to construct the target graph from the source graph; adjacent
+leaves are connected by the raw *leaf-eventlists*.  A snapshot query is
+answered by finding the cheapest path (or Steiner tree, for multipoint
+queries) from the empty super-root to virtual nodes representing the query
+times, fetching the deltas on that path from a key-value store, and applying
+them.
+
+This module implements:
+
+* bulk bottom-up construction from an event trace (Section 4.6), including
+  multiple hierarchies with different differential functions (Figure 3b),
+* columnar storage of deltas and eventlists (``struct`` / ``nodeattr`` /
+  ``edgeattr`` / ``transient``) with horizontal partitioning (Section 4.2),
+* singlepoint and multipoint snapshot retrieval with Dijkstra / Steiner-tree
+  planning (Sections 4.3, 4.4),
+* memory materialization of arbitrary index nodes (Section 4.5),
+* continuous updates through a recent eventlist (Section 6, "Updates"),
+* the extensibility hooks for auxiliary indexes (Section 4.7).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, DeltaGraphIndexError, QueryError
+from ..storage.kvstore import KVStore, make_key
+from ..storage.memory_store import InMemoryKVStore
+from .delta import DELTA_COMPONENTS, Delta, DeltaStats
+from .differential import DifferentialFunction, get_differential_function
+from .events import Event, EventList, EventType
+from .partition import HashPartitioner
+from .skeleton import (
+    SUPER_ROOT_ID,
+    DeltaGraphSkeleton,
+    EdgeKind,
+    NodeKind,
+    PlanStep,
+    SkeletonEdge,
+    SkeletonNode,
+)
+from .snapshot import (
+    COMPONENT_EDGEATTR,
+    COMPONENT_NODEATTR,
+    COMPONENT_STRUCT,
+    COMPONENT_TRANSIENT,
+    GraphSnapshot,
+)
+
+__all__ = ["DeltaGraphConfig", "QueryPlan", "DeltaGraph",
+           "split_events_by_component", "MAIN_COMPONENTS"]
+
+#: Components fetched by default (everything except transient events).
+MAIN_COMPONENTS = (COMPONENT_STRUCT, COMPONENT_NODEATTR, COMPONENT_EDGEATTR)
+
+
+def split_events_by_component(events: Iterable[Event]) -> Dict[str, List[Event]]:
+    """Split events into columnar components for storage.
+
+    Structural events that carry attribute payloads (a node added with
+    initial attributes, a deletion recording the attributes it destroys) are
+    rewritten as a bare structural event plus synthetic attribute-update
+    events, so that replaying a single component never touches another
+    component's element keys.
+    """
+    out: Dict[str, List[Event]] = {
+        COMPONENT_STRUCT: [], COMPONENT_NODEATTR: [],
+        COMPONENT_EDGEATTR: [], COMPONENT_TRANSIENT: []}
+    for event in events:
+        t = event.type
+        if t.is_transient:
+            out[COMPONENT_TRANSIENT].append(event)
+        elif t == EventType.NODE_ATTR:
+            out[COMPONENT_NODEATTR].append(event)
+        elif t == EventType.EDGE_ATTR:
+            out[COMPONENT_EDGEATTR].append(event)
+        elif t in (EventType.NODE_ADD, EventType.NODE_DELETE):
+            bare = Event(t, event.time, node_id=event.node_id)
+            out[COMPONENT_STRUCT].append(bare)
+            adding = t == EventType.NODE_ADD
+            for attr, value in event.attributes:
+                out[COMPONENT_NODEATTR].append(Event(
+                    EventType.NODE_ATTR, event.time, node_id=event.node_id,
+                    attr=attr,
+                    old_value=None if adding else value,
+                    new_value=value if adding else None))
+        else:  # edge add / delete
+            bare = Event(t, event.time, edge_id=event.edge_id, src=event.src,
+                         dst=event.dst, directed=event.directed)
+            out[COMPONENT_STRUCT].append(bare)
+            adding = t == EventType.EDGE_ADD
+            for attr, value in event.attributes:
+                out[COMPONENT_EDGEATTR].append(Event(
+                    EventType.EDGE_ATTR, event.time, edge_id=event.edge_id,
+                    attr=attr,
+                    old_value=None if adding else value,
+                    new_value=value if adding else None))
+    return out
+
+
+@dataclass
+class DeltaGraphConfig:
+    """Construction parameters of a DeltaGraph (Section 4.6).
+
+    Parameters
+    ----------
+    leaf_eventlist_size:
+        ``L`` — the number of events in each leaf-eventlist (spacing between
+        consecutive leaf snapshots).
+    arity:
+        ``k`` — the number of children per interior node.
+    differential_functions:
+        One or more differential functions; each one produces an independent
+        interior hierarchy over the shared leaves (Figure 3b).  Strings are
+        resolved through :func:`~repro.core.differential.get_differential_function`.
+    num_partitions:
+        Number of horizontal partitions for stored deltas/eventlists.
+    """
+
+    leaf_eventlist_size: int = 1000
+    arity: int = 2
+    differential_functions: Sequence = ("intersection",)
+    num_partitions: int = 1
+
+    def resolved_functions(self) -> List[DifferentialFunction]:
+        """The differential functions as instantiated objects."""
+        functions: List[DifferentialFunction] = []
+        for entry in self.differential_functions:
+            if isinstance(entry, DifferentialFunction):
+                functions.append(entry)
+            elif isinstance(entry, str):
+                functions.append(get_differential_function(entry))
+            else:
+                raise ConfigurationError(
+                    f"invalid differential function spec {entry!r}")
+        return functions
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on invalid parameters."""
+        if self.leaf_eventlist_size < 1:
+            raise ConfigurationError("leaf_eventlist_size must be >= 1")
+        if self.arity < 2:
+            raise ConfigurationError("arity must be >= 2")
+        if not self.differential_functions:
+            raise ConfigurationError("at least one differential function required")
+        if self.num_partitions < 1:
+            raise ConfigurationError("num_partitions must be >= 1")
+
+
+@dataclass
+class QueryPlan:
+    """A planned snapshot retrieval: which deltas to fetch and how to apply them."""
+
+    steps: List[PlanStep]
+    estimated_cost: float
+    target_nodes: List[str] = field(default_factory=list)
+    components: Optional[Tuple[str, ...]] = None
+
+    def delta_ids(self) -> List[str]:
+        """Distinct stored payloads the plan touches (for I/O accounting)."""
+        seen, ids = set(), []
+        for step in self.steps:
+            delta_id = step.edge.delta_id
+            if delta_id and delta_id not in seen:
+                seen.add(delta_id)
+                ids.append(delta_id)
+        return ids
+
+
+class DeltaGraph:
+    """Hierarchical delta-based index over the historical trace of a graph.
+
+    Instances are normally created through :meth:`DeltaGraph.build`, which
+    bulk-loads the index from a chronological event trace.  The skeleton is
+    kept in memory; delta payloads live in the configured key-value store.
+    """
+
+    def __init__(self, store: Optional[KVStore] = None,
+                 config: Optional[DeltaGraphConfig] = None) -> None:
+        self.store = store if store is not None else InMemoryKVStore()
+        self.config = config if config is not None else DeltaGraphConfig()
+        self.config.validate()
+        self.partitioner = HashPartitioner(self.config.num_partitions)
+        self.skeleton = DeltaGraphSkeleton()
+        self.aux_indexes: Dict[str, object] = {}
+        #: Materialized graphs kept in memory, keyed by skeleton node id.
+        self._materialized: Dict[str, GraphSnapshot] = {}
+        self._graph_id_counter = itertools.count(1)
+        #: Current state of the network, maintained for ongoing updates.
+        self._current_graph = GraphSnapshot.empty()
+        #: Events newer than the last indexed leaf (Section 6, updates).
+        self._recent_events = EventList()
+        self._last_indexed_time: Optional[int] = None
+        self._leaf_counter = itertools.count()
+        self._lock = threading.RLock()
+        self._pending_new_leaves: List[Tuple[str, GraphSnapshot]] = []
+
+    # ==================================================================
+    # construction
+    # ==================================================================
+
+    @classmethod
+    def build(cls, events: Iterable[Event], store: Optional[KVStore] = None,
+              leaf_eventlist_size: int = 1000, arity: int = 2,
+              differential_functions: Sequence = ("intersection",),
+              num_partitions: int = 1,
+              aux_indexes: Optional[Sequence] = None,
+              initial_graph: Optional[GraphSnapshot] = None) -> "DeltaGraph":
+        """Bulk-construct a DeltaGraph from a chronological event trace.
+
+        Parameters mirror the paper's construction inputs: the eventlist
+        ``E``, the leaf-eventlist size ``L``, the arity ``k``, the
+        differential function(s) ``f``, and the partitioning of the element
+        space.  ``initial_graph`` seeds ``G_0`` (defaults to the empty graph;
+        Dataset 2/3-style traces start from a non-empty snapshot).
+        ``aux_indexes`` is a sequence of objects implementing the auxiliary
+        index protocol of :mod:`repro.auxindex.framework`.
+        """
+        config = DeltaGraphConfig(
+            leaf_eventlist_size=leaf_eventlist_size, arity=arity,
+            differential_functions=differential_functions,
+            num_partitions=num_partitions)
+        index = cls(store=store, config=config)
+        index._bulk_load(EventList(events), aux_indexes or [],
+                         initial_graph=initial_graph)
+        return index
+
+    def _bulk_load(self, events: EventList, aux_indexes: Sequence,
+                   initial_graph: Optional[GraphSnapshot]) -> None:
+        functions = self.config.resolved_functions()
+        arity = self.config.arity
+        leaf_size = self.config.leaf_eventlist_size
+        for aux in aux_indexes:
+            self.aux_indexes[aux.name] = aux
+
+        current = (initial_graph.copy() if initial_graph is not None
+                   else GraphSnapshot.empty())
+        current_aux: Dict[str, dict] = {aux.name: aux.initial_snapshot()
+                                        for aux in aux_indexes}
+        start_time = events[0].time - 1 if len(events) else 0
+        if initial_graph is not None and initial_graph.time is not None:
+            start_time = min(start_time, initial_graph.time)
+        current.time = start_time
+
+        # pending[hierarchy][level] -> list of (node_id, snapshot, aux snapshots)
+        pending: List[Dict[int, List[Tuple[str, GraphSnapshot, Dict[str, dict]]]]]
+        pending = [dict() for _ in functions]
+
+        def make_leaf(snapshot: GraphSnapshot, aux_snaps: Dict[str, dict],
+                      time: int) -> str:
+            index = next(self._leaf_counter)
+            node = SkeletonNode(id=f"leaf:{index}", kind=NodeKind.LEAF,
+                                level=1, index=index, time=time)
+            self.skeleton.add_node(node)
+            frozen = snapshot.copy(time=time)
+            frozen_aux = {name: dict(snap) for name, snap in aux_snaps.items()}
+            for h in range(len(functions)):
+                pending[h].setdefault(1, []).append((node.id, frozen, frozen_aux))
+                self._maybe_collapse(pending[h], 1, functions[h], h, arity,
+                                     force=False)
+            return node.id
+
+        # Leaf 0 corresponds to the initial graph G_0.
+        previous_leaf_id = make_leaf(current, current_aux, start_time)
+        chunks = events.split_into_chunks(leaf_size) if len(events) else []
+        for chunk_index, chunk in enumerate(chunks):
+            aux_events: Dict[str, list] = {aux.name: [] for aux in aux_indexes}
+            for event in chunk:
+                for aux in aux_indexes:
+                    produced = aux.create_aux_event(
+                        event, current, current_aux[aux.name])
+                    if produced:
+                        aux_events[aux.name].extend(produced)
+                current.apply_event(event)
+            for aux in aux_indexes:
+                current_aux[aux.name] = aux.create_aux_snapshot(
+                    current_aux[aux.name], aux_events[aux.name])
+            leaf_time = chunk.end_time
+            current.time = leaf_time
+            leaf_id = make_leaf(current, current_aux, leaf_time)
+            eventlist_id = f"evl:{chunk_index}"
+            stats = self._store_eventlist(eventlist_id, chunk, aux_events)
+            self.skeleton.add_edge(SkeletonEdge(
+                source=previous_leaf_id, target=leaf_id,
+                kind=EdgeKind.EVENTLIST, delta_id=eventlist_id, stats=stats,
+                event_count=len(chunk)))
+            previous_leaf_id = leaf_id
+            self._last_indexed_time = leaf_time
+
+        # Collapse any ragged groups and connect hierarchy roots.
+        for h, function in enumerate(functions):
+            self._finalize_hierarchy(pending[h], function, h, arity)
+
+        self._current_graph = current.copy()
+        if self._last_indexed_time is None:
+            self._last_indexed_time = start_time
+
+    def _maybe_collapse(self, pending: Dict[int, list], level: int,
+                        function: DifferentialFunction, hierarchy: int,
+                        arity: int, force: bool) -> None:
+        """Create a parent node whenever ``arity`` children have accumulated."""
+        group = pending.get(level, [])
+        while len(group) >= arity or (force and len(group) > 1):
+            children, pending[level] = group[:arity], group[arity:]
+            group = pending[level]
+            parent_entry = self._create_interior(children, function, hierarchy,
+                                                 level + 1)
+            pending.setdefault(level + 1, []).append(parent_entry)
+            self._maybe_collapse(pending, level + 1, function, hierarchy,
+                                 arity, force=False)
+
+    def _create_interior(self, children: List[Tuple[str, GraphSnapshot, Dict[str, dict]]],
+                         function: DifferentialFunction, hierarchy: int,
+                         level: int) -> Tuple[str, GraphSnapshot, Dict[str, dict]]:
+        child_snapshots = [snap for _nid, snap, _aux in children]
+        parent_snapshot = function(child_snapshots)
+        parent_aux: Dict[str, dict] = {}
+        for name, aux in self.aux_indexes.items():
+            parent_aux[name] = aux.aux_differential(
+                [aux_snaps[name] for _nid, _snap, aux_snaps in children])
+        index = self.skeleton.nodes[children[0][0]].index
+        node = SkeletonNode(
+            id=f"interior:h{hierarchy}:l{level}:{index}",
+            kind=NodeKind.INTERIOR, level=level, index=index)
+        self.skeleton.add_node(node)
+        for child_id, child_snapshot, child_aux in children:
+            delta = Delta.between(parent_snapshot, child_snapshot)
+            aux_deltas = {
+                name: self.aux_indexes[name].diff(parent_aux[name], child_aux[name])
+                for name in self.aux_indexes}
+            delta_id = f"delta:{node.id}:{child_id}"
+            stats = self._store_delta(delta_id, delta, aux_deltas)
+            self.skeleton.add_edge(SkeletonEdge(
+                source=node.id, target=child_id, kind=EdgeKind.DELTA,
+                delta_id=delta_id, stats=stats))
+        return node.id, parent_snapshot, parent_aux
+
+    def _finalize_hierarchy(self, pending: Dict[int, list],
+                            function: DifferentialFunction, hierarchy: int,
+                            arity: int) -> None:
+        """Collapse ragged pending groups bottom-up and attach the root."""
+        max_level = max(pending) if pending else 1
+        level = 1
+        while level <= max_level:
+            group = pending.get(level, [])
+            higher_pending = any(pending.get(l) for l in range(level + 1,
+                                                               max_level + 1))
+            if len(group) > 1 or (len(group) == 1 and higher_pending):
+                parent_entry = self._create_interior(group, function,
+                                                     hierarchy, level + 1)
+                pending[level] = []
+                pending.setdefault(level + 1, []).append(parent_entry)
+                max_level = max(max_level, level + 1)
+            level += 1
+        # The single remaining entry (if any) becomes this hierarchy's root.
+        remaining = [entry for level in sorted(pending) for entry in pending[level]]
+        for root_id, root_snapshot, root_aux in remaining:
+            delta = Delta.between(GraphSnapshot.empty(), root_snapshot)
+            aux_deltas = {
+                name: self.aux_indexes[name].diff(
+                    self.aux_indexes[name].initial_snapshot(), root_aux[name])
+                for name in self.aux_indexes}
+            delta_id = f"delta:super-root:h{hierarchy}:{root_id}"
+            stats = self._store_delta(delta_id, delta, aux_deltas)
+            self.skeleton.add_edge(SkeletonEdge(
+                source=SUPER_ROOT_ID, target=root_id, kind=EdgeKind.DELTA,
+                delta_id=delta_id, stats=stats))
+
+    # ==================================================================
+    # storage helpers
+    # ==================================================================
+
+    def _store_delta(self, delta_id: str, delta: Delta,
+                     aux_deltas: Optional[Dict[str, Delta]] = None) -> DeltaStats:
+        """Write a delta's columnar, partitioned components to the store."""
+        component_sizes: Dict[str, int] = {}
+        parts = self.partitioner.split_delta(delta)
+        for partition_id, part in enumerate(parts):
+            for component, piece in part.split_components().items():
+                if piece:
+                    self.store.put(make_key(partition_id, delta_id, component),
+                                   piece)
+        for component, size in delta.component_sizes().items():
+            component_sizes[component] = size
+        for name, aux_delta in (aux_deltas or {}).items():
+            component = f"aux:{name}"
+            if aux_delta:
+                self.store.put(make_key(0, delta_id, component), aux_delta)
+            component_sizes[component] = len(aux_delta)
+        total = sum(component_sizes.values())
+        return DeltaStats(component_sizes=component_sizes, total_entries=total)
+
+    def _store_eventlist(self, eventlist_id: str, events: EventList,
+                         aux_events: Optional[Dict[str, list]] = None) -> DeltaStats:
+        """Write a leaf-eventlist's columnar, partitioned components."""
+        component_sizes: Dict[str, int] = {}
+        by_component = split_events_by_component(events)
+        for component, component_events in by_component.items():
+            component_sizes[component] = len(component_events)
+            buckets = self.partitioner.split_events(component_events)
+            for partition_id, bucket in enumerate(buckets):
+                if len(bucket):
+                    self.store.put(
+                        make_key(partition_id, eventlist_id, component),
+                        list(bucket))
+        for name, events_for_index in (aux_events or {}).items():
+            component = f"aux:{name}"
+            if events_for_index:
+                self.store.put(make_key(0, eventlist_id, component),
+                               list(events_for_index))
+            component_sizes[component] = len(events_for_index)
+        total = sum(component_sizes.values())
+        return DeltaStats(component_sizes=component_sizes, total_entries=total)
+
+    def _fetch_delta(self, delta_id: str, components: Sequence[str],
+                     partitions: Optional[Sequence[int]] = None) -> Delta:
+        """Read and merge the requested delta components from the store."""
+        partitions = (range(self.config.num_partitions)
+                      if partitions is None else partitions)
+        pieces: List[Delta] = []
+        for partition_id in partitions:
+            for component in components:
+                piece = self.store.get_or_default(
+                    make_key(partition_id, delta_id, component))
+                if piece is not None:
+                    pieces.append(piece)
+        return Delta.merge_components(pieces) if pieces else Delta.empty()
+
+    def _fetch_events(self, eventlist_id: str, components: Sequence[str],
+                      partitions: Optional[Sequence[int]] = None) -> List[Event]:
+        """Read and merge the requested eventlist components from the store."""
+        partitions = (range(self.config.num_partitions)
+                      if partitions is None else partitions)
+        merged: List[Event] = []
+        for partition_id in partitions:
+            for component in components:
+                piece = self.store.get_or_default(
+                    make_key(partition_id, eventlist_id, component))
+                if piece:
+                    merged.extend(piece)
+        merged.sort(key=lambda e: e.time)
+        return merged
+
+    def _fetch_aux_delta(self, delta_id: str, component: str):
+        """Read one auxiliary component (stored unpartitioned)."""
+        return self.store.get_or_default(make_key(0, delta_id, component))
+
+    # ==================================================================
+    # query planning
+    # ==================================================================
+
+    @staticmethod
+    def _normalize_components(components: Optional[Sequence[str]]
+                              ) -> Tuple[str, ...]:
+        if components is None:
+            return tuple(MAIN_COMPONENTS)
+        return tuple(components)
+
+    def plan_singlepoint(self, time: int,
+                         components: Optional[Sequence[str]] = None) -> QueryPlan:
+        """Plan a singlepoint snapshot query (Section 4.3)."""
+        components = self._normalize_components(components)
+        with self._lock:
+            virtual = self.skeleton.add_virtual_node(time)
+            try:
+                cost, steps = self.skeleton.shortest_path(
+                    SUPER_ROOT_ID, virtual.id, components)
+            finally:
+                self.skeleton.remove_node(virtual.id)
+        return QueryPlan(steps=steps, estimated_cost=cost,
+                         target_nodes=[virtual.id], components=components)
+
+    def plan_multipoint(self, times: Sequence[int],
+                        components: Optional[Sequence[str]] = None
+                        ) -> Tuple[QueryPlan, Dict[str, int]]:
+        """Plan a multipoint snapshot query (Section 4.4).
+
+        Returns the plan plus a mapping from virtual-node id to the query
+        time it represents.
+        """
+        components = self._normalize_components(components)
+        with self._lock:
+            virtual_nodes = [self.skeleton.add_virtual_node(t) for t in times]
+            try:
+                steps = self.skeleton.steiner_tree(
+                    [v.id for v in virtual_nodes], components)
+                cost = sum(step.edge.weight(components) for step in steps)
+            finally:
+                mapping = {v.id: t for v, t in zip(virtual_nodes, times)}
+                # Virtual nodes must survive until execution finishes; the
+                # executor removes them.  For planning-only callers we remove
+                # them here and rebuild during execution, keeping the skeleton
+                # clean; the steps retain the edge objects they need.
+                for v in virtual_nodes:
+                    self.skeleton.remove_node(v.id)
+        plan = QueryPlan(steps=steps, estimated_cost=cost,
+                         target_nodes=list(mapping), components=components)
+        return plan, mapping
+
+    # ==================================================================
+    # retrieval execution
+    # ==================================================================
+
+    def _apply_step(self, snapshot: GraphSnapshot, step: PlanStep,
+                    components: Sequence[str],
+                    delta_cache: Dict[Tuple[str, bool], object],
+                    partitions: Optional[Sequence[int]] = None) -> GraphSnapshot:
+        """Apply one plan step to ``snapshot`` (in place) and return it.
+
+        ``step.forward`` false means the edge is traversed against its stored
+        direction: deltas are inverted, eventlists replayed backward, and a
+        partial (virtual) replay is undone.
+        """
+        edge = step.edge
+        if edge.kind == EdgeKind.MATERIALIZED:
+            base = self._materialized[edge.target]
+            return base.copy()
+        if edge.kind == EdgeKind.DELTA:
+            cache_key = (edge.delta_id, True)
+            if cache_key not in delta_cache:
+                delta_cache[cache_key] = self._fetch_delta(
+                    edge.delta_id, components, partitions)
+            delta: Delta = delta_cache[cache_key]
+            return (delta if step.forward else delta.invert()).apply(snapshot)
+        if edge.kind == EdgeKind.EVENTLIST:
+            cache_key = (edge.delta_id, False)
+            if cache_key not in delta_cache:
+                delta_cache[cache_key] = self._fetch_events(
+                    edge.delta_id, components, partitions)
+            events: List[Event] = delta_cache[cache_key]
+            snapshot.apply_events(events, forward=step.forward)
+            return snapshot
+        if edge.kind == EdgeKind.VIRTUAL:
+            cache_key = (edge.delta_id, False)
+            if cache_key not in delta_cache:
+                delta_cache[cache_key] = self._fetch_events(
+                    edge.delta_id, components, partitions)
+            events = delta_cache[cache_key]
+            time = edge.virtual_time
+            if edge.direction == "forward":
+                selected = [e for e in events if e.time <= time]
+                snapshot.apply_events(selected, forward=step.forward)
+            else:
+                selected = [e for e in events if e.time > time]
+                snapshot.apply_events(selected, forward=not step.forward)
+            return snapshot
+        raise QueryError(f"cannot execute plan step for edge kind {edge.kind}")
+
+    def _execute_singlepoint(self, plan: QueryPlan, time: int,
+                             partitions: Optional[Sequence[int]] = None
+                             ) -> GraphSnapshot:
+        snapshot = GraphSnapshot.empty(time=time)
+        delta_cache: Dict[Tuple[str, bool], object] = {}
+        for step in plan.steps:
+            snapshot = self._apply_step(snapshot, step, plan.components,
+                                        delta_cache, partitions)
+        snapshot.time = time
+        self._apply_recent_events(snapshot, time, plan.components)
+        return snapshot
+
+    def _apply_recent_events(self, snapshot: GraphSnapshot, time: int,
+                             components: Sequence[str]) -> None:
+        """Apply not-yet-indexed recent events relevant for ``time``."""
+        if (self._last_indexed_time is not None
+                and time <= self._last_indexed_time):
+            return
+        if not len(self._recent_events):
+            return
+        relevant = [e for e in self._recent_events if e.time <= time]
+        by_component = split_events_by_component(relevant)
+        for component in components:
+            snapshot.apply_events(by_component.get(component, []), forward=True)
+
+    def get_snapshot(self, time: int,
+                     components: Optional[Sequence[str]] = None,
+                     partitions: Optional[Sequence[int]] = None
+                     ) -> GraphSnapshot:
+        """Retrieve the graph snapshot as of ``time`` (singlepoint query).
+
+        ``components`` restricts the columnar components fetched (defaults to
+        structure plus all attributes); ``partitions`` restricts retrieval to
+        a subset of horizontal partitions (used for distributed loading).
+        """
+        plan = self.plan_singlepoint(time, components)
+        return self._execute_singlepoint(plan, time, partitions)
+
+    def get_snapshots(self, times: Sequence[int],
+                      components: Optional[Sequence[str]] = None,
+                      partitions: Optional[Sequence[int]] = None
+                      ) -> List[GraphSnapshot]:
+        """Retrieve several snapshots with one multipoint plan (Section 4.4).
+
+        The Steiner-tree plan shares deltas between the requested timepoints,
+        avoiding the duplicate reads a sequence of singlepoint queries would
+        perform (multi-query optimization, Figure 8c).
+        """
+        if not times:
+            return []
+        components = self._normalize_components(components)
+        with self._lock:
+            virtual_nodes = [self.skeleton.add_virtual_node(t) for t in times]
+            node_to_time = {v.id: t for v, t in zip(virtual_nodes, times)}
+            try:
+                steps = self.skeleton.steiner_tree(list(node_to_time),
+                                                   components)
+                results = self._execute_tree(steps, node_to_time, components,
+                                             partitions)
+            finally:
+                for v in virtual_nodes:
+                    self.skeleton.remove_node(v.id)
+        ordered = [results[v.id] for v in virtual_nodes]
+        for snapshot, time in zip(ordered, times):
+            self._apply_recent_events(snapshot, time, components)
+        return ordered
+
+    def _execute_tree(self, steps: List[PlanStep],
+                      node_to_time: Dict[str, int],
+                      components: Sequence[str],
+                      partitions: Optional[Sequence[int]]
+                      ) -> Dict[str, GraphSnapshot]:
+        """Execute a Steiner-tree plan with a depth-first traversal.
+
+        The working snapshot is mutated while descending and restored (by
+        applying the inverse delta) while backtracking, so only one full
+        snapshot is held at a time besides the results.
+        """
+        # The Steiner steps may be oriented arbitrarily (they come from
+        # shortest paths between different terminal pairs); index each edge
+        # under both endpoints so the DFS from the super-root can traverse it
+        # in whichever direction it reaches it first.
+        adjacency: Dict[str, List[PlanStep]] = {}
+        for step in steps:
+            adjacency.setdefault(step.from_node, []).append(step)
+            adjacency.setdefault(step.to_node, []).append(
+                PlanStep(step.edge, not step.forward))
+        results: Dict[str, GraphSnapshot] = {}
+        delta_cache: Dict[Tuple[str, bool], object] = {}
+        working = GraphSnapshot.empty()
+        visited: set = set()
+
+        def dfs(node_id: str) -> None:
+            nonlocal working
+            visited.add(node_id)
+            if node_id in node_to_time:
+                results[node_id] = working.copy(time=node_to_time[node_id])
+            for step in adjacency.get(node_id, []):
+                nxt = step.to_node
+                if nxt in visited:
+                    continue
+                before_materialized = None
+                if step.edge.kind == EdgeKind.MATERIALIZED:
+                    before_materialized = working
+                working = self._apply_step(working, step, components,
+                                           delta_cache, partitions)
+                dfs(nxt)
+                # Undo the step while backtracking: re-apply it in the
+                # opposite direction (materialized shortcuts restore the
+                # previous working snapshot instead).
+                if step.edge.kind == EdgeKind.MATERIALIZED:
+                    working = before_materialized
+                else:
+                    working = self._apply_step(
+                        working, PlanStep(step.edge, not step.forward),
+                        components, delta_cache, partitions)
+
+        dfs(SUPER_ROOT_ID)
+        missing = set(node_to_time) - set(results)
+        if missing:
+            raise QueryError(f"multipoint plan did not reach {missing}")
+        return results
+
+    def get_snapshot_parallel(self, time: int,
+                              components: Optional[Sequence[str]] = None,
+                              workers: int = 2) -> GraphSnapshot:
+        """Retrieve a snapshot fetching each partition on its own thread.
+
+        Mirrors the paper's multi-core experiment (Figure 8b): every
+        partition's portion of the snapshot is reconstructed independently
+        and the partial snapshots are merged at the end.
+        """
+        workers = max(1, min(workers, self.config.num_partitions))
+        if workers == 1 or self.config.num_partitions == 1:
+            return self.get_snapshot(time, components)
+        plan = self.plan_singlepoint(time, components)
+        partition_ids = list(range(self.config.num_partitions))
+
+        def run(partition_id: int) -> GraphSnapshot:
+            return self._execute_singlepoint(plan, time,
+                                             partitions=[partition_id])
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            parts = list(pool.map(run, partition_ids))
+        merged = self.partitioner.merge_snapshots(parts)
+        merged.time = time
+        return merged
+
+    def get_interval_graph(self, start: int, end: int,
+                           components: Optional[Sequence[str]] = None,
+                           include_transient: bool = True) -> GraphSnapshot:
+        """Graph over the elements *added* during ``[start, end)``.
+
+        Implements ``GetHistGraphInterval``: it also surfaces transient
+        events (which singlepoint retrieval never returns).
+        """
+        components = list(self._normalize_components(components))
+        if include_transient and COMPONENT_TRANSIENT not in components:
+            components.append(COMPONENT_TRANSIENT)
+        snapshot = GraphSnapshot.empty()
+        for edge in self.skeleton.eventlist_edges():
+            left_time = self.skeleton.nodes[edge.source].time
+            right_time = self.skeleton.nodes[edge.target].time
+            if right_time is not None and right_time < start:
+                continue
+            if left_time is not None and left_time >= end:
+                break
+            events = self._fetch_events(edge.delta_id, components)
+            for event in events:
+                if not start <= event.time < end:
+                    continue
+                if event.type.is_transient:
+                    replay = Event(
+                        EventType.NODE_ADD if event.type == EventType.TRANSIENT_NODE
+                        else EventType.EDGE_ADD,
+                        event.time, node_id=event.node_id,
+                        edge_id=event.edge_id, src=event.src, dst=event.dst,
+                        directed=event.directed, attributes=event.attributes)
+                    snapshot.apply_event(replay)
+                elif event.type in (EventType.NODE_ADD, EventType.EDGE_ADD,
+                                    EventType.NODE_ATTR, EventType.EDGE_ATTR):
+                    snapshot.apply_event(event)
+        for event in self._recent_events:
+            if start <= event.time < end and (
+                    event.type.is_transient
+                    or event.type in (EventType.NODE_ADD, EventType.EDGE_ADD,
+                                      EventType.NODE_ATTR, EventType.EDGE_ATTR)):
+                if event.type.is_transient:
+                    replay = Event(
+                        EventType.NODE_ADD if event.type == EventType.TRANSIENT_NODE
+                        else EventType.EDGE_ADD,
+                        event.time, node_id=event.node_id, edge_id=event.edge_id,
+                        src=event.src, dst=event.dst, directed=event.directed,
+                        attributes=event.attributes)
+                    snapshot.apply_event(replay)
+                else:
+                    snapshot.apply_event(event)
+        return snapshot
+
+    # ==================================================================
+    # auxiliary index retrieval (Section 4.7)
+    # ==================================================================
+
+    def get_aux_snapshot(self, index_name: str, time: int) -> dict:
+        """Reconstruct the auxiliary snapshot of ``index_name`` as of ``time``.
+
+        The auxiliary data is stored as an extra columnar component on every
+        delta/eventlist, so the same plan that retrieves the graph retrieves
+        the auxiliary state; materialized shortcuts are skipped because only
+        graph data is materialized.
+        """
+        if index_name not in self.aux_indexes:
+            raise QueryError(f"unknown auxiliary index {index_name!r}")
+        aux = self.aux_indexes[index_name]
+        component = f"aux:{index_name}"
+        with self._lock:
+            virtual = self.skeleton.add_virtual_node(time)
+            try:
+                cost, steps = self.skeleton.shortest_path(
+                    SUPER_ROOT_ID, virtual.id, [component],
+                    allow_materialized=False)
+            finally:
+                self.skeleton.remove_node(virtual.id)
+        state = aux.initial_snapshot()
+        for step in steps:
+            edge = step.edge
+            if edge.kind == EdgeKind.MATERIALIZED:
+                # Materialized graphs do not carry aux data; restart from the
+                # target node is impossible, so plans for aux components never
+                # include materialized edges (their aux weight is 0 but the
+                # data would be wrong).  Skip defensively.
+                continue
+            if edge.kind == EdgeKind.DELTA:
+                aux_delta = self._fetch_aux_delta(edge.delta_id, component)
+                if aux_delta is not None:
+                    state = aux.apply_delta(state, aux_delta,
+                                            forward=step.forward)
+            elif edge.kind in (EdgeKind.EVENTLIST, EdgeKind.VIRTUAL):
+                aux_events = self._fetch_aux_delta(edge.delta_id, component) or []
+                if edge.kind == EdgeKind.VIRTUAL:
+                    if edge.direction == "forward":
+                        aux_events = [e for e in aux_events if e.time <= time]
+                        state = aux.apply_events(state, aux_events, forward=True)
+                    else:
+                        aux_events = [e for e in aux_events if e.time > time]
+                        state = aux.apply_events(state, aux_events, forward=False)
+                else:
+                    state = aux.apply_events(state, aux_events,
+                                             forward=step.forward)
+        return state
+
+    # ==================================================================
+    # materialization (Section 4.5)
+    # ==================================================================
+
+    def materialize(self, node_id: str) -> GraphSnapshot:
+        """Materialize a DeltaGraph node's graph in memory.
+
+        The node's graph is reconstructed with a shortest-path plan, stored
+        in memory, and a zero-weight edge from the super-root is added to the
+        skeleton so that all subsequent queries benefit automatically.
+        """
+        with self._lock:
+            if node_id in self._materialized:
+                return self._materialized[node_id]
+            if node_id not in self.skeleton.nodes:
+                raise DeltaGraphIndexError(f"unknown node {node_id!r}")
+            cost, steps = self.skeleton.shortest_path(SUPER_ROOT_ID, node_id,
+                                                      None)
+            snapshot = GraphSnapshot.empty()
+            delta_cache: Dict[Tuple[str, bool], object] = {}
+            for step in steps:
+                snapshot = self._apply_step(snapshot, step,
+                                            list(MAIN_COMPONENTS),
+                                            delta_cache)
+            node = self.skeleton.nodes[node_id]
+            node.materialized_graph = next(self._graph_id_counter)
+            self._materialized[node_id] = snapshot
+            self.skeleton.add_edge(SkeletonEdge(
+                source=SUPER_ROOT_ID, target=node_id,
+                kind=EdgeKind.MATERIALIZED, stats=DeltaStats.zero()))
+            return snapshot
+
+    def unmaterialize(self, node_id: str) -> None:
+        """Drop a previously materialized node and its zero-weight edge."""
+        with self._lock:
+            if node_id not in self._materialized:
+                return
+            del self._materialized[node_id]
+            self.skeleton.nodes[node_id].materialized_graph = None
+            for edge in self.skeleton.out_edges(SUPER_ROOT_ID):
+                if edge.kind == EdgeKind.MATERIALIZED and edge.target == node_id:
+                    self.skeleton._out[SUPER_ROOT_ID].remove(edge)
+                    self.skeleton._in[node_id].remove(edge)
+
+    def materialize_roots(self) -> List[str]:
+        """Materialize every hierarchy root (children of the super-root)."""
+        ids = [n.id for n in self.skeleton.roots()]
+        for node_id in ids:
+            self.materialize(node_id)
+        return ids
+
+    def materialize_level_below_root(self, depth: int = 1) -> List[str]:
+        """Materialize the nodes ``depth`` levels below each hierarchy root.
+
+        ``depth=1`` materializes the roots' children, ``depth=2`` their
+        grandchildren (the configuration used in Figures 7 and 10).
+        """
+        frontier = [n.id for n in self.skeleton.roots()]
+        for _ in range(depth):
+            next_frontier: List[str] = []
+            for node_id in frontier:
+                for edge in self.skeleton.out_edges(node_id):
+                    if edge.kind == EdgeKind.DELTA:
+                        next_frontier.append(edge.target)
+            frontier = next_frontier or frontier
+        for node_id in frontier:
+            self.materialize(node_id)
+        return frontier
+
+    def materialize_all_leaves(self) -> List[str]:
+        """Total materialization: every leaf in memory (Copy+Log-like)."""
+        ids = [leaf.id for leaf in self.skeleton.leaves()]
+        for node_id in ids:
+            self.materialize(node_id)
+        return ids
+
+    def materialize_current(self) -> str:
+        """Materialize the rightmost leaf (the current graph)."""
+        leaves = self.skeleton.leaves()
+        if not leaves:
+            raise DeltaGraphIndexError("DeltaGraph has no leaves")
+        last = leaves[-1].id
+        self.materialize(last)
+        return last
+
+    def materialized_nodes(self) -> List[str]:
+        """Node ids currently materialized in memory."""
+        return list(self._materialized)
+
+    def materialization_memory_entries(self) -> int:
+        """Total number of elements held by materialized graphs.
+
+        Used as the memory-cost axis in the materialization experiments;
+        note GraphPool would store these overlaid (union) so this is an upper
+        bound on the true incremental memory.
+        """
+        return sum(len(s.elements) for s in self._materialized.values())
+
+    # ==================================================================
+    # updates to the current graph (Section 6)
+    # ==================================================================
+
+    def append_events(self, events: Iterable[Event]) -> None:
+        """Record new events as the network continues to evolve.
+
+        Events accumulate in a *recent eventlist*; whenever it reaches the
+        leaf-eventlist size ``L`` a new leaf (and eventlist edge) is appended
+        to the index, and whenever ``arity`` new leaves have accumulated they
+        are collapsed under a new interior node attached to the super-root.
+        """
+        with self._lock:
+            for event in events:
+                self._current_graph.apply_event(event)
+                self._recent_events.append(event)
+            while len(self._recent_events) >= self.config.leaf_eventlist_size:
+                chunk = EventList(
+                    list(self._recent_events)[:self.config.leaf_eventlist_size])
+                remainder = list(self._recent_events)[
+                    self.config.leaf_eventlist_size:]
+                self._recent_events = EventList(remainder)
+                self._append_leaf(chunk)
+
+    def _append_leaf(self, chunk: EventList) -> None:
+        leaves = self.skeleton.leaves()
+        previous_leaf = leaves[-1]
+        index = next(self._leaf_counter)
+        leaf_time = chunk.end_time
+        node = SkeletonNode(id=f"leaf:{index}", kind=NodeKind.LEAF, level=1,
+                            index=index, time=leaf_time)
+        self.skeleton.add_node(node)
+        eventlist_id = f"evl:{index - 1}"
+        stats = self._store_eventlist(eventlist_id, chunk, None)
+        self.skeleton.add_edge(SkeletonEdge(
+            source=previous_leaf.id, target=node.id, kind=EdgeKind.EVENTLIST,
+            delta_id=eventlist_id, stats=stats, event_count=len(chunk)))
+        self._last_indexed_time = leaf_time
+        # Reconstruct the snapshot at the new leaf time from the current
+        # graph minus the still-unindexed recent events.
+        snapshot = self._current_graph.copy(time=leaf_time)
+        snapshot.apply_events(list(self._recent_events), forward=False)
+        self._pending_new_leaves.append((node.id, snapshot))
+        if len(self._pending_new_leaves) >= self.config.arity:
+            function = self.config.resolved_functions()[0]
+            children = [(nid, snap, {}) for nid, snap in self._pending_new_leaves]
+            parent_id, parent_snapshot, _aux = self._create_interior(
+                children, function, 0, 2)
+            delta = Delta.between(GraphSnapshot.empty(), parent_snapshot)
+            delta_id = f"delta:super-root:update:{parent_id}"
+            stats = self._store_delta(delta_id, delta, None)
+            self.skeleton.add_edge(SkeletonEdge(
+                source=SUPER_ROOT_ID, target=parent_id, kind=EdgeKind.DELTA,
+                delta_id=delta_id, stats=stats))
+            self._pending_new_leaves = []
+
+    def current_graph(self) -> GraphSnapshot:
+        """The up-to-date current graph maintained for ongoing updates."""
+        return self._current_graph.copy()
+
+    # ==================================================================
+    # statistics
+    # ==================================================================
+
+    def index_entry_count(self, components: Optional[Sequence[str]] = None
+                          ) -> float:
+        """Total number of delta/eventlist entries stored in the index."""
+        return self.skeleton.total_index_entries(components)
+
+    def index_size_bytes(self) -> int:
+        """Bytes of index payload in the store (if the store reports it)."""
+        total_bytes = getattr(self.store, "total_bytes", None)
+        if callable(total_bytes):
+            return total_bytes()
+        inner = getattr(self.store, "inner", None)
+        if inner is not None and callable(getattr(inner, "total_bytes", None)):
+            return inner.total_bytes()
+        return 0
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the index."""
+        return (f"DeltaGraph(L={self.config.leaf_eventlist_size}, "
+                f"k={self.config.arity}, "
+                f"functions={[f.name for f in self.config.resolved_functions()]}, "
+                f"partitions={self.config.num_partitions}, "
+                f"{self.skeleton.describe()})")

@@ -1,0 +1,300 @@
+"""Differential functions (Table 2 of the paper).
+
+A differential function ``f`` specifies how the graph corresponding to an
+interior DeltaGraph node is constructed from the graphs corresponding to its
+children: ``S_p = f(S_c1, ..., S_ck)``.  The choice of function controls the
+distribution of delta sizes across the index and therefore the distribution
+of snapshot retrieval latencies over history:
+
+``Intersection``
+    smallest disk footprint but skewed latencies (newer snapshots slower for
+    growing graphs),
+``Balanced`` / ``Mixed``
+    tunable, more uniform latencies at the cost of extra space,
+``Empty``
+    degenerates the DeltaGraph to the Copy+Log approach,
+``Union`` / ``Skewed`` variants
+    expose further trade-offs.
+
+The fractional selections used by Skewed/Mixed/Balanced are made with a
+*stable hash* of the element key so that the same element is consistently
+kept or dropped across the additions and removals of a pair — mirroring the
+paper's requirement that the same hash function choose both ``½·δ_ab`` and
+``½·ρ_ab``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .delta import Delta
+from .snapshot import ElementKey, GraphSnapshot
+
+__all__ = [
+    "DifferentialFunction",
+    "IntersectionFunction",
+    "UnionFunction",
+    "EmptyFunction",
+    "SkewedFunction",
+    "RightSkewedFunction",
+    "LeftSkewedFunction",
+    "MixedFunction",
+    "BalancedFunction",
+    "get_differential_function",
+]
+
+
+def _stable_fraction(key: ElementKey, salt: int = 0) -> float:
+    """Map an element key deterministically to a value in ``[0, 1)``."""
+    digest = zlib.crc32(repr((salt, key)).encode("utf-8")) & 0xFFFFFFFF
+    return digest / 4294967296.0
+
+
+class DifferentialFunction(ABC):
+    """Base class for differential functions.
+
+    Subclasses implement :meth:`combine`, producing the synthetic parent
+    snapshot from an ordered list of children (oldest first).
+    """
+
+    #: Short name used in construction parameters, bench output, and repr.
+    name: str = "abstract"
+
+    @abstractmethod
+    def combine(self, children: Sequence[GraphSnapshot]) -> GraphSnapshot:
+        """Build the parent graph from the children graphs."""
+
+    def __call__(self, children: Sequence[GraphSnapshot]) -> GraphSnapshot:
+        if not children:
+            raise ConfigurationError("differential function needs >= 1 child")
+        return self.combine(children)
+
+    def __repr__(self) -> str:
+        return f"{self.__class__.__name__}()"
+
+
+class IntersectionFunction(DifferentialFunction):
+    """``f(a, b, c, ...) = a ∩ b ∩ c ...``
+
+    An element (with its value) belongs to the parent iff it is present with
+    the same value in every child.  For a growing-only graph the root of an
+    Intersection DeltaGraph is exactly the initial graph ``G_0``.
+    """
+
+    name = "intersection"
+
+    def combine(self, children: Sequence[GraphSnapshot]) -> GraphSnapshot:
+        first = children[0].elements
+        rest = [c.elements for c in children[1:]]
+        out: Dict[ElementKey, object] = {}
+        for key, value in first.items():
+            if all(key in other and other[key] == value for other in rest):
+                out[key] = value
+        return GraphSnapshot(out)
+
+
+class UnionFunction(DifferentialFunction):
+    """``f(a, b, c, ...) = a ∪ b ∪ c ...``
+
+    When children disagree on a value, the most recent child wins.
+    """
+
+    name = "union"
+
+    def combine(self, children: Sequence[GraphSnapshot]) -> GraphSnapshot:
+        out: Dict[ElementKey, object] = {}
+        for child in children:
+            out.update(child.elements)
+        return GraphSnapshot(out)
+
+
+class EmptyFunction(DifferentialFunction):
+    """``f(a, b, c, ...) = ∅`` — turns the DeltaGraph into Copy+Log.
+
+    With an empty parent, each edge delta is the full child snapshot, i.e.
+    the index stores explicit copies at the leaf spacing.
+    """
+
+    name = "empty"
+
+    def combine(self, children: Sequence[GraphSnapshot]) -> GraphSnapshot:
+        return GraphSnapshot({})
+
+
+class _PairwiseFunction(DifferentialFunction):
+    """Helper base for functions defined on pairs, folded over k children."""
+
+    def combine(self, children: Sequence[GraphSnapshot]) -> GraphSnapshot:
+        result = children[0].copy(time=None)
+        result.time = None
+        for child in children[1:]:
+            result = self.combine_pair(result, child)
+        return result
+
+    @abstractmethod
+    def combine_pair(self, a: GraphSnapshot, b: GraphSnapshot) -> GraphSnapshot:
+        """Combine exactly two graphs."""
+
+
+class SkewedFunction(_PairwiseFunction):
+    """``f(a, b) = a + r·(b − a)`` with ``0 <= r <= 1``.
+
+    ``r = 0`` keeps the older child, ``r = 1`` the newer child; intermediate
+    values move the parent toward the newer child, shifting which side of the
+    tree carries heavier deltas.
+    """
+
+    name = "skewed"
+
+    def __init__(self, r: float = 0.5) -> None:
+        if not 0.0 <= r <= 1.0:
+            raise ConfigurationError("r must be in [0, 1]")
+        self.r = r
+
+    def combine_pair(self, a: GraphSnapshot, b: GraphSnapshot) -> GraphSnapshot:
+        out = dict(a.elements)
+        for key, value in b.elements.items():
+            if key not in out and _stable_fraction(key) < self.r:
+                out[key] = value
+        return GraphSnapshot(out)
+
+    def __repr__(self) -> str:
+        return f"SkewedFunction(r={self.r})"
+
+
+class RightSkewedFunction(_PairwiseFunction):
+    """``f(a, b) = a∩b + r·(b − a∩b)`` — bias the parent toward the newer child."""
+
+    name = "right_skewed"
+
+    def __init__(self, r: float = 0.5) -> None:
+        if not 0.0 <= r <= 1.0:
+            raise ConfigurationError("r must be in [0, 1]")
+        self.r = r
+
+    def combine_pair(self, a: GraphSnapshot, b: GraphSnapshot) -> GraphSnapshot:
+        out: Dict[ElementKey, object] = {}
+        b_elems = b.elements
+        for key, value in a.elements.items():
+            if key in b_elems and b_elems[key] == value:
+                out[key] = value
+        for key, value in b_elems.items():
+            if key not in out and _stable_fraction(key) < self.r:
+                out[key] = value
+        return GraphSnapshot(out)
+
+    def __repr__(self) -> str:
+        return f"RightSkewedFunction(r={self.r})"
+
+
+class LeftSkewedFunction(_PairwiseFunction):
+    """``f(a, b) = a∩b + r·(a − a∩b)`` — bias the parent toward the older child."""
+
+    name = "left_skewed"
+
+    def __init__(self, r: float = 0.5) -> None:
+        if not 0.0 <= r <= 1.0:
+            raise ConfigurationError("r must be in [0, 1]")
+        self.r = r
+
+    def combine_pair(self, a: GraphSnapshot, b: GraphSnapshot) -> GraphSnapshot:
+        out: Dict[ElementKey, object] = {}
+        b_elems = b.elements
+        for key, value in a.elements.items():
+            if key in b_elems and b_elems[key] == value:
+                out[key] = value
+            elif _stable_fraction(key) < self.r:
+                out[key] = value
+        return GraphSnapshot(out)
+
+    def __repr__(self) -> str:
+        return f"LeftSkewedFunction(r={self.r})"
+
+
+class MixedFunction(DifferentialFunction):
+    """``f(a, b, c, ...) = a + r1·(δ_ab + δ_bc + ...) − r2·(ρ_ab + ρ_bc + ...)``
+
+    ``δ_xy`` are the elements added going from child ``x`` to child ``y`` and
+    ``ρ_xy`` those removed; ``r1`` controls how many of the additions the
+    parent absorbs and ``r2`` how many of the removals it applies, with
+    ``0 <= r2 <= r1 <= 1``.  Larger values bias the parent toward newer
+    snapshots, reducing retrieval latency for recent timepoints.
+    """
+
+    name = "mixed"
+
+    def __init__(self, r1: float = 0.5, r2: float = 0.5) -> None:
+        if not (0.0 <= r2 <= 1.0 and 0.0 <= r1 <= 1.0):
+            raise ConfigurationError("r1 and r2 must be in [0, 1]")
+        if r2 > r1:
+            raise ConfigurationError("Mixed function requires r2 <= r1")
+        self.r1 = r1
+        self.r2 = r2
+
+    def combine(self, children: Sequence[GraphSnapshot]) -> GraphSnapshot:
+        result = GraphSnapshot(dict(children[0].elements))
+        for older, newer in zip(children, children[1:]):
+            pair_delta = Delta.between(older, newer)
+            for key, value in pair_delta.additions.items():
+                if _stable_fraction(key) < self.r1:
+                    result.elements[key] = value
+            for key in pair_delta.removals:
+                if _stable_fraction(key) < self.r2:
+                    result.elements.pop(key, None)
+            for key, (_old, new) in pair_delta.changes.items():
+                if _stable_fraction(key) < self.r1:
+                    result.elements[key] = new
+        result._invalidate_cache()
+        return result
+
+    def __repr__(self) -> str:
+        return f"MixedFunction(r1={self.r1}, r2={self.r2})"
+
+
+class BalancedFunction(MixedFunction):
+    """The Mixed function with ``r1 = r2 = ½`` (Table 2, "Balanced").
+
+    Balances the delta sizes between the children, giving uniform retrieval
+    latencies across the covered time span (for a constant event density).
+    """
+
+    name = "balanced"
+
+    def __init__(self) -> None:
+        super().__init__(r1=0.5, r2=0.5)
+
+    def __repr__(self) -> str:
+        return "BalancedFunction()"
+
+
+_REGISTRY = {
+    "intersection": IntersectionFunction,
+    "union": UnionFunction,
+    "empty": EmptyFunction,
+    "skewed": SkewedFunction,
+    "right_skewed": RightSkewedFunction,
+    "left_skewed": LeftSkewedFunction,
+    "mixed": MixedFunction,
+    "balanced": BalancedFunction,
+}
+
+
+def get_differential_function(name: str, **params) -> DifferentialFunction:
+    """Instantiate a differential function by name.
+
+    Parameters such as ``r`` (Skewed variants) or ``r1``/``r2`` (Mixed) are
+    passed through as keyword arguments.
+
+    >>> get_differential_function("mixed", r1=0.9, r2=0.9).name
+    'mixed'
+    """
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown differential function {name!r}; "
+            f"choose one of {sorted(_REGISTRY)}") from None
+    return cls(**params)

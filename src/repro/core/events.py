@@ -1,0 +1,380 @@
+"""Event model for the historical graph trace.
+
+The paper models the history of a network as a chronological list of *events*
+(Section 3.1).  An event is the record of an atomic activity: creation or
+deletion of a node or an edge, a change in an attribute value, or the
+occurrence of a *transient* node/edge valid only at a single time instant.
+
+Events are **bidirectional**: applying the events of a time step to snapshot
+``G_{k-1}`` in the forward direction yields ``G_k``, and applying them to
+``G_k`` in the backward direction yields ``G_{k-1}``::
+
+    G_k = G_{k-1} + E        G_{k-1} = G_k - E
+
+To guarantee invertibility every destructive event carries the state it
+destroys (e.g. a node-delete event records the node's attributes at deletion
+time, an attribute-update event records the old value).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import EventError
+
+__all__ = [
+    "EventType",
+    "Event",
+    "EventList",
+    "new_node",
+    "delete_node",
+    "new_edge",
+    "delete_edge",
+    "update_node_attr",
+    "update_edge_attr",
+    "transient_edge",
+    "transient_node",
+]
+
+
+class EventType(Enum):
+    """Kinds of atomic activity recorded in the history.
+
+    The two-letter codes mirror the paper's notation (``NE`` = new edge,
+    ``UNA`` = update node attribute, ...).
+    """
+
+    NODE_ADD = "NN"
+    NODE_DELETE = "DN"
+    EDGE_ADD = "NE"
+    EDGE_DELETE = "DE"
+    NODE_ATTR = "UNA"
+    EDGE_ATTR = "UEA"
+    TRANSIENT_NODE = "TN"
+    TRANSIENT_EDGE = "TE"
+
+    @property
+    def is_transient(self) -> bool:
+        """Whether the event describes a transient (single-instant) element."""
+        return self in (EventType.TRANSIENT_NODE, EventType.TRANSIENT_EDGE)
+
+    @property
+    def is_structural(self) -> bool:
+        """Whether the event changes graph structure (nodes/edges)."""
+        return self in (
+            EventType.NODE_ADD,
+            EventType.NODE_DELETE,
+            EventType.EDGE_ADD,
+            EventType.EDGE_DELETE,
+        )
+
+    @property
+    def is_attribute(self) -> bool:
+        """Whether the event changes an attribute value."""
+        return self in (EventType.NODE_ATTR, EventType.EDGE_ATTR)
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single atomic change to the network at a specific timepoint.
+
+    Parameters
+    ----------
+    type:
+        The :class:`EventType` of the activity.
+    time:
+        Integer timestamp (the library assumes discrete time).
+    node_id:
+        Node involved (for node events and node-attribute events).
+    edge_id:
+        Edge involved (for edge events and edge-attribute events).  Edge ids
+        are unique and never reassigned after deletion.
+    src, dst:
+        Endpoints of the edge (edge events only).
+    directed:
+        Whether the edge is directed (edge events only).
+    attr:
+        Attribute name (attribute events only).
+    old_value, new_value:
+        Previous / new attribute values; ``old_value`` is ``None`` when the
+        attribute is first set, ``new_value`` is ``None`` when it is removed.
+    attributes:
+        For delete events, the attribute dictionary of the element at the time
+        of deletion (needed to apply the event backward); for add events it
+        may carry initial attributes.
+    """
+
+    type: EventType
+    time: int
+    node_id: Optional[int] = None
+    edge_id: Optional[int] = None
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    directed: bool = False
+    attr: Optional[str] = None
+    old_value: object = None
+    new_value: object = None
+    attributes: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    # -- convenience constructors are provided as module-level helpers below --
+
+    def involved_nodes(self) -> Tuple[int, ...]:
+        """Node ids this event touches (used for partitioning)."""
+        if self.type in (EventType.NODE_ADD, EventType.NODE_DELETE,
+                         EventType.NODE_ATTR, EventType.TRANSIENT_NODE):
+            return (self.node_id,)
+        return tuple(n for n in (self.src, self.dst) if n is not None)
+
+    def primary_node(self) -> int:
+        """The node id used to assign this event to a partition."""
+        nodes = self.involved_nodes()
+        if not nodes:
+            raise EventError(f"event has no associated node: {self!r}")
+        return nodes[0]
+
+    def attributes_dict(self) -> Dict[str, object]:
+        """The carried attribute payload as a plain dictionary."""
+        return dict(self.attributes)
+
+    def validate(self) -> None:
+        """Raise :class:`EventError` if required payload fields are missing."""
+        t = self.type
+        if t in (EventType.NODE_ADD, EventType.NODE_DELETE,
+                 EventType.NODE_ATTR, EventType.TRANSIENT_NODE):
+            if self.node_id is None:
+                raise EventError(f"{t.value} event requires node_id")
+        if t in (EventType.EDGE_ADD, EventType.EDGE_DELETE,
+                 EventType.EDGE_ATTR, EventType.TRANSIENT_EDGE):
+            if self.edge_id is None:
+                raise EventError(f"{t.value} event requires edge_id")
+        if t in (EventType.EDGE_ADD, EventType.EDGE_DELETE,
+                 EventType.TRANSIENT_EDGE):
+            if self.src is None or self.dst is None:
+                raise EventError(f"{t.value} event requires src and dst")
+        if t in (EventType.NODE_ATTR, EventType.EDGE_ATTR):
+            if self.attr is None:
+                raise EventError(f"{t.value} event requires an attribute name")
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.type.value, f"t={self.time}"]
+        if self.node_id is not None:
+            parts.append(f"N:{self.node_id}")
+        if self.edge_id is not None:
+            parts.append(f"E:{self.edge_id}({self.src}->{self.dst})")
+        if self.attr is not None:
+            parts.append(f"{self.attr}:{self.old_value!r}->{self.new_value!r}")
+        return "{" + ", ".join(parts) + "}"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+def new_node(time: int, node_id: int,
+             attributes: Optional[Dict[str, object]] = None) -> Event:
+    """Create a node-addition event, optionally with initial attributes."""
+    return Event(EventType.NODE_ADD, time, node_id=node_id,
+                 attributes=tuple(sorted((attributes or {}).items())))
+
+
+def delete_node(time: int, node_id: int,
+                attributes: Optional[Dict[str, object]] = None) -> Event:
+    """Create a node-deletion event.
+
+    ``attributes`` should hold the node's attributes at deletion time so that
+    the event can be applied backward.
+    """
+    return Event(EventType.NODE_DELETE, time, node_id=node_id,
+                 attributes=tuple(sorted((attributes or {}).items())))
+
+
+def new_edge(time: int, edge_id: int, src: int, dst: int,
+             directed: bool = False,
+             attributes: Optional[Dict[str, object]] = None) -> Event:
+    """Create an edge-addition event."""
+    return Event(EventType.EDGE_ADD, time, edge_id=edge_id, src=src, dst=dst,
+                 directed=directed,
+                 attributes=tuple(sorted((attributes or {}).items())))
+
+
+def delete_edge(time: int, edge_id: int, src: int, dst: int,
+                directed: bool = False,
+                attributes: Optional[Dict[str, object]] = None) -> Event:
+    """Create an edge-deletion event carrying the edge state for inversion."""
+    return Event(EventType.EDGE_DELETE, time, edge_id=edge_id, src=src,
+                 dst=dst, directed=directed,
+                 attributes=tuple(sorted((attributes or {}).items())))
+
+
+def update_node_attr(time: int, node_id: int, attr: str,
+                     old_value: object, new_value: object) -> Event:
+    """Create a node-attribute update event (UNA)."""
+    return Event(EventType.NODE_ATTR, time, node_id=node_id, attr=attr,
+                 old_value=old_value, new_value=new_value)
+
+
+def update_edge_attr(time: int, edge_id: int, attr: str,
+                     old_value: object, new_value: object) -> Event:
+    """Create an edge-attribute update event (UEA)."""
+    return Event(EventType.EDGE_ATTR, time, edge_id=edge_id, attr=attr,
+                 old_value=old_value, new_value=new_value)
+
+
+def transient_edge(time: int, edge_id: int, src: int, dst: int,
+                   directed: bool = True,
+                   attributes: Optional[Dict[str, object]] = None) -> Event:
+    """Create a transient edge event (e.g. a single message between nodes)."""
+    return Event(EventType.TRANSIENT_EDGE, time, edge_id=edge_id, src=src,
+                 dst=dst, directed=directed,
+                 attributes=tuple(sorted((attributes or {}).items())))
+
+
+def transient_node(time: int, node_id: int,
+                   attributes: Optional[Dict[str, object]] = None) -> Event:
+    """Create a transient node event."""
+    return Event(EventType.TRANSIENT_NODE, time, node_id=node_id,
+                 attributes=tuple(sorted((attributes or {}).items())))
+
+
+# ---------------------------------------------------------------------------
+# EventList
+# ---------------------------------------------------------------------------
+
+class EventList:
+    """A chronologically ordered list of events with time-based search.
+
+    The list is kept sorted by event time (ties preserve insertion order,
+    which matters when several events share a timestamp).  Provides binary
+    search helpers used by the DeltaGraph to locate the leaf-eventlist that
+    covers a query timepoint and to slice the portion of an eventlist that
+    must be replayed.
+    """
+
+    def __init__(self, events: Optional[Iterable[Event]] = None) -> None:
+        self._events: List[Event] = list(events or [])
+        self._times: List[int] = [e.time for e in self._events]
+        if any(self._times[i] > self._times[i + 1]
+               for i in range(len(self._times) - 1)):
+            # Stable sort keeps same-timestamp ordering.
+            order = sorted(range(len(self._events)),
+                           key=lambda i: self._times[i])
+            self._events = [self._events[i] for i in order]
+            self._times = [e.time for e in self._events]
+
+    # -- basic container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return EventList(self._events[index])
+        return self._events[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventList):
+            return NotImplemented
+        return self._events == other._events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._events:
+            return "EventList(empty)"
+        return (f"EventList({len(self._events)} events, "
+                f"t=[{self.start_time}, {self.end_time}])")
+
+    # -- time bounds --------------------------------------------------------------
+
+    @property
+    def events(self) -> Sequence[Event]:
+        """Read-only view of the underlying event sequence."""
+        return tuple(self._events)
+
+    @property
+    def start_time(self) -> int:
+        """Timestamp of the first event (raises on an empty list)."""
+        if not self._events:
+            raise EventError("empty eventlist has no start time")
+        return self._times[0]
+
+    @property
+    def end_time(self) -> int:
+        """Timestamp of the last event (raises on an empty list)."""
+        if not self._events:
+            raise EventError("empty eventlist has no end time")
+        return self._times[-1]
+
+    # -- mutation -----------------------------------------------------------------
+
+    def append(self, event: Event) -> None:
+        """Append an event; its time must be >= the current last event."""
+        if self._events and event.time < self._times[-1]:
+            raise EventError(
+                "events must be appended in chronological order "
+                f"({event.time} < {self._times[-1]})")
+        self._events.append(event)
+        self._times.append(event.time)
+
+    def extend(self, events: Iterable[Event]) -> None:
+        """Append several events in chronological order."""
+        for event in events:
+            self.append(event)
+
+    # -- searching and slicing ----------------------------------------------------
+
+    def index_at_or_after(self, time: int) -> int:
+        """Index of the first event with timestamp >= ``time``."""
+        return bisect.bisect_left(self._times, time)
+
+    def index_after(self, time: int) -> int:
+        """Index of the first event with timestamp > ``time``."""
+        return bisect.bisect_right(self._times, time)
+
+    def events_upto(self, time: int) -> "EventList":
+        """Events with timestamp <= ``time`` (inclusive prefix)."""
+        return EventList(self._events[: self.index_after(time)])
+
+    def events_after(self, time: int) -> "EventList":
+        """Events with timestamp > ``time`` (exclusive suffix)."""
+        return EventList(self._events[self.index_after(time):])
+
+    def events_between(self, start: int, end: int) -> "EventList":
+        """Events with ``start <= timestamp < end`` (half-open interval)."""
+        lo = self.index_at_or_after(start)
+        hi = self.index_at_or_after(end)
+        return EventList(self._events[lo:hi])
+
+    def count_upto(self, time: int) -> int:
+        """Number of events with timestamp <= ``time``."""
+        return self.index_after(time)
+
+    def split_into_chunks(self, chunk_size: int) -> List["EventList"]:
+        """Split into consecutive chunks of at most ``chunk_size`` events.
+
+        Used by the DeltaGraph bulk-construction to carve the history into
+        leaf-eventlists of size ``L``.
+        """
+        if chunk_size <= 0:
+            raise EventError("chunk_size must be positive")
+        return [EventList(self._events[i:i + chunk_size])
+                for i in range(0, len(self._events), chunk_size)]
+
+    def filter(self, predicate) -> "EventList":
+        """A new EventList containing only events satisfying ``predicate``."""
+        return EventList([e for e in self._events if predicate(e)])
+
+    def transient_events(self) -> "EventList":
+        """Only the transient events in this list."""
+        return self.filter(lambda e: e.type.is_transient)
+
+    def persistent_events(self) -> "EventList":
+        """Only the non-transient events in this list."""
+        return self.filter(lambda e: not e.type.is_transient)

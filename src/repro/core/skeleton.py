@@ -1,0 +1,487 @@
+"""The DeltaGraph *skeleton*: an in-memory weighted graph over the index.
+
+The skeleton mirrors the structure of the DeltaGraph (super-root, interior
+nodes, leaves, and the eventlist edges between adjacent leaves) but holds
+only statistics about the deltas — entry counts per columnar component — not
+the delta contents themselves (Section 3.2.2).  It is the object on which
+query planning runs:
+
+* a **singlepoint** query adds a virtual node attached to the two leaves
+  adjacent to the covering leaf-eventlist and runs Dijkstra from the
+  super-root (Section 4.3),
+* a **multipoint** query adds one virtual node per timepoint and computes a
+  2-approximate Steiner tree via the metric-closure/MST construction
+  (Section 4.4),
+* **materialization** adds a zero-weight edge from the super-root to the
+  materialized node, which all later plans pick up automatically
+  (Section 4.5).
+
+Edge weights depend on the query's attribute options: a structure-only query
+weighs only the ``struct`` component of each delta, which is how the
+columnar-storage benefit (Figure 8d) arises at planning time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import DeltaGraphIndexError, QueryError, TimeOutOfRangeError
+from .delta import DeltaStats
+
+__all__ = [
+    "NodeKind",
+    "EdgeKind",
+    "SkeletonNode",
+    "SkeletonEdge",
+    "PlanStep",
+    "DeltaGraphSkeleton",
+]
+
+SUPER_ROOT_ID = "super-root"
+
+
+class NodeKind(Enum):
+    """Role of a node in the DeltaGraph skeleton."""
+
+    SUPER_ROOT = "super-root"
+    INTERIOR = "interior"
+    LEAF = "leaf"
+    VIRTUAL = "virtual"
+
+
+class EdgeKind(Enum):
+    """Role of an edge in the DeltaGraph skeleton."""
+
+    DELTA = "delta"              # interior/super-root -> child, stored delta
+    EVENTLIST = "eventlist"      # leaf <-> adjacent leaf, stored leaf-eventlist
+    MATERIALIZED = "materialized"  # super-root -> materialized node, weight 0
+    VIRTUAL = "virtual"          # leaf -> virtual query node (partial eventlist)
+
+
+@dataclass
+class SkeletonNode:
+    """A node of the skeleton.
+
+    ``time`` is the snapshot timepoint for leaves and virtual nodes, ``None``
+    for interior nodes (whose graphs are generally not valid at any time).
+    ``materialized_graph`` holds the GraphPool graph-id when the node's graph
+    has been materialized in memory.
+    """
+
+    id: str
+    kind: NodeKind
+    level: int = 0
+    index: int = -1
+    time: Optional[int] = None
+    materialized_graph: Optional[int] = None
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether this node's graph is currently materialized in memory."""
+        return self.materialized_graph is not None
+
+
+@dataclass
+class SkeletonEdge:
+    """An edge of the skeleton, annotated with delta statistics.
+
+    ``delta_id`` names the stored payload (delta or leaf-eventlist) in the
+    key-value store; ``stats`` carries entry counts per component used as the
+    planning weight; ``event_count`` is the number of events for eventlist
+    edges (used to split the weight of virtual edges).
+    """
+
+    source: str
+    target: str
+    kind: EdgeKind
+    delta_id: Optional[str] = None
+    stats: DeltaStats = field(default_factory=DeltaStats.zero)
+    event_count: int = 0
+    #: For VIRTUAL edges: apply the covering eventlist forward (from the left
+    #: leaf) or backward (from the right leaf) and how many events to apply.
+    direction: str = "forward"
+    events_to_apply: int = 0
+    #: For VIRTUAL edges: the query timepoint the virtual node represents.
+    virtual_time: Optional[int] = None
+    #: For VIRTUAL edges: the eventlist edge the partial replay reads from.
+    source_eventlist: Optional["SkeletonEdge"] = None
+
+    def weight(self, components: Optional[Iterable[str]] = None) -> float:
+        """Planning weight of the edge for the requested components."""
+        if self.kind == EdgeKind.MATERIALIZED:
+            return 0.0
+        if self.kind == EdgeKind.VIRTUAL:
+            if self.event_count <= 0:
+                return 0.0
+            fraction = self.events_to_apply / self.event_count
+            return self.stats.weight(components) * fraction
+        return self.stats.weight(components)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SkeletonEdge({self.source}->{self.target}, "
+                f"{self.kind.value}, w={self.stats.total_entries})")
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One step of a retrieval plan: traverse ``edge``.
+
+    ``forward`` is true when the edge is traversed in its stored direction
+    (source to target); false means the inverse delta must be applied (or the
+    eventlist replayed backward).
+    """
+
+    edge: SkeletonEdge
+    forward: bool
+
+    @property
+    def from_node(self) -> str:
+        return self.edge.source if self.forward else self.edge.target
+
+    @property
+    def to_node(self) -> str:
+        return self.edge.target if self.forward else self.edge.source
+
+
+class DeltaGraphSkeleton:
+    """Weighted graph over DeltaGraph nodes used for query planning."""
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, SkeletonNode] = {}
+        self._out: Dict[str, List[SkeletonEdge]] = {}
+        self._in: Dict[str, List[SkeletonEdge]] = {}
+        self._virtual_counter = itertools.count()
+        self.add_node(SkeletonNode(SUPER_ROOT_ID, NodeKind.SUPER_ROOT))
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @property
+    def super_root(self) -> SkeletonNode:
+        """The super-root node (associated with the empty graph)."""
+        return self.nodes[SUPER_ROOT_ID]
+
+    def add_node(self, node: SkeletonNode) -> SkeletonNode:
+        """Register a node (id must be unique)."""
+        if node.id in self.nodes:
+            raise DeltaGraphIndexError(f"duplicate skeleton node {node.id!r}")
+        self.nodes[node.id] = node
+        self._out.setdefault(node.id, [])
+        self._in.setdefault(node.id, [])
+        return node
+
+    def add_edge(self, edge: SkeletonEdge) -> SkeletonEdge:
+        """Register an edge between existing nodes."""
+        if edge.source not in self.nodes or edge.target not in self.nodes:
+            raise DeltaGraphIndexError(
+                f"edge endpoints must exist: {edge.source!r} -> {edge.target!r}")
+        self._out[edge.source].append(edge)
+        self._in[edge.target].append(edge)
+        return edge
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node and every incident edge (used for virtual nodes)."""
+        if node_id not in self.nodes:
+            return
+        for edge in list(self._out.get(node_id, [])):
+            self._in[edge.target].remove(edge)
+        for edge in list(self._in.get(node_id, [])):
+            self._out[edge.source].remove(edge)
+        self._out.pop(node_id, None)
+        self._in.pop(node_id, None)
+        del self.nodes[node_id]
+
+    def out_edges(self, node_id: str) -> List[SkeletonEdge]:
+        """Edges leaving ``node_id`` in the stored direction."""
+        return list(self._out.get(node_id, []))
+
+    def in_edges(self, node_id: str) -> List[SkeletonEdge]:
+        """Edges entering ``node_id`` in the stored direction."""
+        return list(self._in.get(node_id, []))
+
+    def edges(self) -> Iterable[SkeletonEdge]:
+        """All edges in the skeleton."""
+        for edges in self._out.values():
+            yield from edges
+
+    def leaves(self) -> List[SkeletonNode]:
+        """Leaf nodes ordered by their index (chronological order)."""
+        found = [n for n in self.nodes.values() if n.kind == NodeKind.LEAF]
+        return sorted(found, key=lambda n: n.index)
+
+    def interior_nodes(self) -> List[SkeletonNode]:
+        """Interior nodes ordered by (level, index)."""
+        found = [n for n in self.nodes.values() if n.kind == NodeKind.INTERIOR]
+        return sorted(found, key=lambda n: (n.level, n.index))
+
+    def roots(self) -> List[SkeletonNode]:
+        """Children of the super-root (per-hierarchy roots)."""
+        return [self.nodes[e.target] for e in self._out[SUPER_ROOT_ID]
+                if e.kind == EdgeKind.DELTA]
+
+    def nodes_at_level(self, level: int) -> List[SkeletonNode]:
+        """All (leaf or interior) nodes at the given level (leaves = 1)."""
+        found = [n for n in self.nodes.values()
+                 if n.kind in (NodeKind.LEAF, NodeKind.INTERIOR)
+                 and n.level == level]
+        return sorted(found, key=lambda n: n.index)
+
+    def height(self) -> int:
+        """Number of levels (leaves are level 1)."""
+        levels = [n.level for n in self.nodes.values()
+                  if n.kind in (NodeKind.LEAF, NodeKind.INTERIOR)]
+        return max(levels) if levels else 0
+
+    # ------------------------------------------------------------------
+    # virtual query nodes
+    # ------------------------------------------------------------------
+
+    def eventlist_edges(self) -> List[SkeletonEdge]:
+        """Leaf-to-leaf eventlist edges ordered chronologically (forward ones)."""
+        edges = [e for e in self.edges()
+                 if e.kind == EdgeKind.EVENTLIST
+                 and self.nodes[e.source].index < self.nodes[e.target].index]
+        return sorted(edges, key=lambda e: self.nodes[e.source].index)
+
+    def covering_eventlist(self, time: int) -> SkeletonEdge:
+        """The (forward) eventlist edge whose interval covers ``time``.
+
+        A query exactly at a leaf's snapshot time is covered by the eventlist
+        starting at that leaf.  Times before the first leaf or at/after the
+        last leaf's time are clamped to the first/last eventlist, matching
+        the paper's treatment of the current graph as the rightmost leaf.
+        """
+        edges = self.eventlist_edges()
+        if not edges:
+            raise DeltaGraphIndexError("DeltaGraph has no eventlist edges")
+        for edge in edges:
+            start = self.nodes[edge.source].time
+            end = self.nodes[edge.target].time
+            if start is None or end is None:
+                continue
+            if start <= time < end:
+                return edge
+        first_start = self.nodes[edges[0].source].time
+        if time < first_start:
+            raise TimeOutOfRangeError(
+                f"time {time} precedes the indexed history (starts at "
+                f"{first_start})")
+        return edges[-1]
+
+    def add_virtual_node(self, time: int,
+                         components_hint: Optional[Sequence[str]] = None
+                         ) -> SkeletonNode:
+        """Add a virtual node for a query timepoint (Section 4.3).
+
+        Two virtual edges connect it to the leaves adjacent to the covering
+        leaf-eventlist; their weights estimate the portion of the eventlist
+        that must be replayed (forward from the left leaf, backward from the
+        right leaf).  The caller is responsible for removing the node via
+        :meth:`remove_node` once planning and retrieval complete.
+        """
+        eventlist_edge = self.covering_eventlist(time)
+        left = self.nodes[eventlist_edge.source]
+        right = self.nodes[eventlist_edge.target]
+        node = SkeletonNode(
+            id=f"virtual:{time}:{next(self._virtual_counter)}",
+            kind=NodeKind.VIRTUAL, level=0, time=time)
+        self.add_node(node)
+        total = max(eventlist_edge.event_count, 1)
+        left_time = left.time if left.time is not None else time
+        right_time = right.time if right.time is not None else time
+        span = max(right_time - left_time, 1)
+        forward_events = int(round(
+            eventlist_edge.event_count * min(max(time - left_time, 0), span) / span))
+        backward_events = eventlist_edge.event_count - forward_events
+        self.add_edge(SkeletonEdge(
+            source=left.id, target=node.id, kind=EdgeKind.VIRTUAL,
+            delta_id=eventlist_edge.delta_id, stats=eventlist_edge.stats,
+            event_count=total, direction="forward",
+            events_to_apply=forward_events, virtual_time=time,
+            source_eventlist=eventlist_edge))
+        self.add_edge(SkeletonEdge(
+            source=right.id, target=node.id, kind=EdgeKind.VIRTUAL,
+            delta_id=eventlist_edge.delta_id, stats=eventlist_edge.stats,
+            event_count=total, direction="backward",
+            events_to_apply=backward_events, virtual_time=time,
+            source_eventlist=eventlist_edge))
+        return node
+
+    # ------------------------------------------------------------------
+    # shortest paths (Dijkstra)
+    # ------------------------------------------------------------------
+
+    def _planning_neighbors(self, node_id: str,
+                            components: Optional[Sequence[str]],
+                            allow_materialized: bool = True
+                            ) -> Iterable[Tuple[str, float, PlanStep]]:
+        """Neighbours reachable from ``node_id`` during planning.
+
+        Delta, eventlist, and virtual edges are traversable in both
+        directions (our deltas and events carry enough information to be
+        inverted, and undoing a partial eventlist replay costs the same as
+        applying it); materialized shortcut edges only in their stored
+        direction, from the super-root to the materialized node.
+        """
+        for edge in self._out.get(node_id, []):
+            if edge.kind == EdgeKind.MATERIALIZED and not allow_materialized:
+                continue
+            yield edge.target, edge.weight(components), PlanStep(edge, True)
+        for edge in self._in.get(node_id, []):
+            if edge.kind == EdgeKind.MATERIALIZED:
+                continue
+            yield edge.source, edge.weight(components), PlanStep(edge, False)
+
+    def shortest_path(self, source: str, target: str,
+                      components: Optional[Sequence[str]] = None,
+                      allow_materialized: bool = True
+                      ) -> Tuple[float, List[PlanStep]]:
+        """Lowest-weight path from ``source`` to ``target`` (Dijkstra).
+
+        Returns the total weight and the ordered list of :class:`PlanStep`
+        describing which deltas/eventlists to fetch and in which direction to
+        apply them.  ``allow_materialized`` is disabled when planning for
+        auxiliary-index components, whose data is never materialized.
+        """
+        costs, steps = self._dijkstra(source, components, stop_at={target},
+                                      allow_materialized=allow_materialized)
+        if target not in costs:
+            raise QueryError(f"no path from {source!r} to {target!r}")
+        return costs[target], self._reconstruct(steps, source, target)
+
+    def shortest_path_costs(self, source: str,
+                            targets: Set[str],
+                            components: Optional[Sequence[str]] = None,
+                            allow_materialized: bool = True
+                            ) -> Dict[str, Tuple[float, List[PlanStep]]]:
+        """Shortest paths from ``source`` to every node in ``targets``."""
+        costs, steps = self._dijkstra(source, components, stop_at=None,
+                                      allow_materialized=allow_materialized)
+        out: Dict[str, Tuple[float, List[PlanStep]]] = {}
+        for target in targets:
+            if target not in costs:
+                raise QueryError(f"no path from {source!r} to {target!r}")
+            out[target] = (costs[target], self._reconstruct(steps, source, target))
+        return out
+
+    def _dijkstra(self, source: str, components: Optional[Sequence[str]],
+                  stop_at: Optional[Set[str]],
+                  allow_materialized: bool = True
+                  ) -> Tuple[Dict[str, float], Dict[str, PlanStep]]:
+        if source not in self.nodes:
+            raise QueryError(f"unknown skeleton node {source!r}")
+        costs: Dict[str, float] = {source: 0.0}
+        prev_step: Dict[str, PlanStep] = {}
+        visited: Set[str] = set()
+        counter = itertools.count()
+        heap: List[Tuple[float, int, str]] = [(0.0, next(counter), source)]
+        remaining = set(stop_at) if stop_at else None
+        while heap:
+            cost, _tie, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            if remaining is not None:
+                remaining.discard(node)
+                if not remaining:
+                    break
+            for neighbor, weight, step in self._planning_neighbors(
+                    node, components, allow_materialized):
+                new_cost = cost + weight
+                if neighbor not in costs or new_cost < costs[neighbor]:
+                    costs[neighbor] = new_cost
+                    prev_step[neighbor] = step
+                    heapq.heappush(heap, (new_cost, next(counter), neighbor))
+        return costs, prev_step
+
+    @staticmethod
+    def _reconstruct(prev_step: Dict[str, PlanStep], source: str,
+                     target: str) -> List[PlanStep]:
+        path: List[PlanStep] = []
+        node = target
+        while node != source:
+            step = prev_step[node]
+            path.append(step)
+            node = step.from_node
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    # Steiner tree (2-approximation, Section 4.4)
+    # ------------------------------------------------------------------
+
+    def steiner_tree(self, terminals: Sequence[str],
+                     components: Optional[Sequence[str]] = None
+                     ) -> List[PlanStep]:
+        """Approximate minimum Steiner tree connecting super-root + terminals.
+
+        Implements the standard 2-approximation: build the metric closure
+        over ``{super-root} ∪ terminals`` (edge weight = skeleton shortest
+        path), take its minimum spanning tree, and unfold each MST edge back
+        into the skeleton path it represents, de-duplicating skeleton edges.
+
+        The returned steps form a connected subgraph containing the
+        super-root; the retrieval executor walks it with a DFS, applying
+        deltas on the way down and their inverses when backtracking.
+        """
+        points = [SUPER_ROOT_ID] + [t for t in terminals if t != SUPER_ROOT_ID]
+        if len(points) == 1:
+            return []
+        # Metric closure: all-pairs shortest paths among the points.
+        closure: Dict[Tuple[str, str], Tuple[float, List[PlanStep]]] = {}
+        for point in points:
+            paths = self.shortest_path_costs(point, set(points) - {point},
+                                             components)
+            for other, (cost, steps) in paths.items():
+                closure[(point, other)] = (cost, steps)
+        # Prim's MST over the complete graph on `points`.
+        in_tree = {points[0]}
+        mst_edges: List[Tuple[str, str]] = []
+        while len(in_tree) < len(points):
+            best: Optional[Tuple[float, str, str]] = None
+            for a in in_tree:
+                for b in points:
+                    if b in in_tree:
+                        continue
+                    cost = closure[(a, b)][0]
+                    if best is None or cost < best[0]:
+                        best = (cost, a, b)
+            assert best is not None
+            _cost, a, b = best
+            mst_edges.append((a, b))
+            in_tree.add(b)
+        # Unfold MST edges to skeleton paths and deduplicate skeleton edges.
+        seen: Set[int] = set()
+        steps: List[PlanStep] = []
+        for a, b in mst_edges:
+            for step in closure[(a, b)][1]:
+                marker = id(step.edge)
+                if marker not in seen:
+                    seen.add(marker)
+                    steps.append(step)
+        return steps
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def total_index_entries(self, components: Optional[Sequence[str]] = None
+                            ) -> float:
+        """Total delta entries stored across all delta/eventlist edges."""
+        total = 0.0
+        for edge in self.edges():
+            if edge.kind in (EdgeKind.DELTA, EdgeKind.EVENTLIST):
+                total += edge.stats.weight(components)
+        return total
+
+    def describe(self) -> str:
+        """A short human-readable summary of the skeleton (for logging)."""
+        return (f"DeltaGraphSkeleton(levels={self.height()}, "
+                f"leaves={len(self.leaves())}, "
+                f"interior={len(self.interior_nodes())}, "
+                f"entries={int(self.total_index_entries())})")

@@ -1,0 +1,355 @@
+"""Snapshot representation: the graph as a *collection of objects*.
+
+Both DeltaGraph and GraphPool treat the network as a flat collection of
+elements rather than exploiting the graphical structure (Section 1 of the
+paper notes this explicitly, which is why the same techniques apply to
+temporal relational data).  A snapshot is therefore a mapping from *element
+keys* to values:
+
+``('N', node_id) -> 1``
+    node existence,
+``('E', edge_id) -> (src, dst, directed)``
+    edge existence and its endpoints,
+``('NA', node_id, attr_name) -> value``
+    a node attribute value,
+``('EA', edge_id, attr_name) -> value``
+    an edge attribute value.
+
+This uniform representation makes deltas, differential functions, and the
+columnar split into ``struct`` / ``nodeattr`` / ``edgeattr`` components plain
+set/dict algebra.  :class:`GraphSnapshot` wraps the element dictionary with
+graph-level accessors (neighbours, degrees, attribute lookups) used by
+analysis code and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import EventError
+from .events import Event, EventList, EventType
+
+__all__ = [
+    "NODE",
+    "EDGE",
+    "NODE_ATTR",
+    "EDGE_ATTR",
+    "ElementKey",
+    "element_component",
+    "GraphSnapshot",
+]
+
+# Element-kind tags (first entry of every element key).
+NODE = "N"
+EDGE = "E"
+NODE_ATTR = "NA"
+EDGE_ATTR = "EA"
+
+# Columnar component names, matching the paper's delta decomposition.
+COMPONENT_STRUCT = "struct"
+COMPONENT_NODEATTR = "nodeattr"
+COMPONENT_EDGEATTR = "edgeattr"
+COMPONENT_TRANSIENT = "transient"
+
+ElementKey = Tuple
+
+
+def element_component(key: ElementKey) -> str:
+    """Map an element key to the columnar component it belongs to."""
+    kind = key[0]
+    if kind in (NODE, EDGE):
+        return COMPONENT_STRUCT
+    if kind == NODE_ATTR:
+        return COMPONENT_NODEATTR
+    if kind == EDGE_ATTR:
+        return COMPONENT_EDGEATTR
+    raise EventError(f"unknown element kind in key {key!r}")
+
+
+class GraphSnapshot:
+    """A single (possibly synthetic) graph state.
+
+    A snapshot is *valid* when it corresponds to the real network at some
+    timepoint; interior DeltaGraph nodes are also represented as
+    ``GraphSnapshot`` instances even though they are generally not valid
+    graphs as of any time (the paper calls these "graphs" too).
+
+    Parameters
+    ----------
+    elements:
+        Initial element mapping; the snapshot takes ownership of the dict.
+    time:
+        Timepoint the snapshot corresponds to, or ``None`` for synthetic
+        graphs (interior nodes, differential-function outputs).
+    """
+
+    __slots__ = ("elements", "time", "_adjacency")
+
+    def __init__(self, elements: Optional[Dict[ElementKey, object]] = None,
+                 time: Optional[int] = None) -> None:
+        self.elements: Dict[ElementKey, object] = elements if elements is not None else {}
+        self.time = time
+        self._adjacency: Optional[Dict[int, Set[int]]] = None
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __contains__(self, key: ElementKey) -> bool:
+        return key in self.elements
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphSnapshot):
+            return NotImplemented
+        return self.elements == other.elements
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"GraphSnapshot(nodes={self.num_nodes()}, "
+                f"edges={self.num_edges()}, time={self.time})")
+
+    def copy(self, time: Optional[int] = None) -> "GraphSnapshot":
+        """A shallow copy of this snapshot (element values are shared)."""
+        return GraphSnapshot(dict(self.elements),
+                             time=self.time if time is None else time)
+
+    # ------------------------------------------------------------------
+    # structure accessors
+    # ------------------------------------------------------------------
+
+    def node_ids(self) -> List[int]:
+        """All node ids present in the snapshot."""
+        return [k[1] for k in self.elements if k[0] == NODE]
+
+    def edge_ids(self) -> List[int]:
+        """All edge ids present in the snapshot."""
+        return [k[1] for k in self.elements if k[0] == EDGE]
+
+    def num_nodes(self) -> int:
+        """Number of nodes in the snapshot."""
+        return sum(1 for k in self.elements if k[0] == NODE)
+
+    def num_edges(self) -> int:
+        """Number of edges in the snapshot."""
+        return sum(1 for k in self.elements if k[0] == EDGE)
+
+    def has_node(self, node_id: int) -> bool:
+        """Whether the node is present."""
+        return (NODE, node_id) in self.elements
+
+    def has_edge(self, edge_id: int) -> bool:
+        """Whether the edge is present."""
+        return (EDGE, edge_id) in self.elements
+
+    def edge_def(self, edge_id: int) -> Tuple[int, int, bool]:
+        """Return ``(src, dst, directed)`` for an edge id."""
+        return self.elements[(EDGE, edge_id)]
+
+    def edges(self) -> Iterator[Tuple[int, int, int, bool]]:
+        """Iterate over ``(edge_id, src, dst, directed)`` tuples."""
+        for key, value in self.elements.items():
+            if key[0] == EDGE:
+                src, dst, directed = value
+                yield key[1], src, dst, directed
+
+    def node_attributes(self, node_id: int) -> Dict[str, object]:
+        """All attribute values currently set on a node."""
+        return {k[2]: v for k, v in self.elements.items()
+                if k[0] == NODE_ATTR and k[1] == node_id}
+
+    def edge_attributes(self, edge_id: int) -> Dict[str, object]:
+        """All attribute values currently set on an edge."""
+        return {k[2]: v for k, v in self.elements.items()
+                if k[0] == EDGE_ATTR and k[1] == edge_id}
+
+    def get_node_attr(self, node_id: int, attr: str, default=None):
+        """Value of one node attribute, or ``default`` when unset."""
+        return self.elements.get((NODE_ATTR, node_id, attr), default)
+
+    def get_edge_attr(self, edge_id: int, attr: str, default=None):
+        """Value of one edge attribute, or ``default`` when unset."""
+        return self.elements.get((EDGE_ATTR, edge_id, attr), default)
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+
+    def _build_adjacency(self) -> Dict[int, Set[int]]:
+        adjacency: Dict[int, Set[int]] = {nid: set() for nid in self.node_ids()}
+        for _eid, src, dst, directed in self.edges():
+            adjacency.setdefault(src, set()).add(dst)
+            if not directed:
+                adjacency.setdefault(dst, set()).add(src)
+        return adjacency
+
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """Adjacency map ``node -> set(successor nodes)`` (cached).
+
+        For undirected edges both directions are included.  The cache is
+        invalidated whenever the snapshot is mutated through
+        :meth:`apply_event` / :meth:`add_elements` / :meth:`remove_elements`.
+        """
+        if self._adjacency is None:
+            self._adjacency = self._build_adjacency()
+        return self._adjacency
+
+    def neighbors(self, node_id: int) -> Set[int]:
+        """Successor set of a node (empty set for isolated/unknown nodes)."""
+        return self.adjacency().get(node_id, set())
+
+    def degree(self, node_id: int) -> int:
+        """Out-degree (== degree for undirected graphs) of a node."""
+        return len(self.neighbors(node_id))
+
+    def _invalidate_cache(self) -> None:
+        self._adjacency = None
+
+    # ------------------------------------------------------------------
+    # mutation through events
+    # ------------------------------------------------------------------
+
+    def apply_event(self, event: Event, forward: bool = True) -> None:
+        """Apply a single event in the given direction.
+
+        Transient events never modify the persistent element set; they are
+        only surfaced by interval queries (``GetHistGraphInterval``).
+        """
+        if event.type.is_transient:
+            return
+        self._invalidate_cache()
+        if forward:
+            self._apply_forward(event)
+        else:
+            self._apply_backward(event)
+
+    def _apply_forward(self, event: Event) -> None:
+        t = event.type
+        if t == EventType.NODE_ADD:
+            self.elements[(NODE, event.node_id)] = 1
+            for attr, value in event.attributes:
+                self.elements[(NODE_ATTR, event.node_id, attr)] = value
+        elif t == EventType.NODE_DELETE:
+            self.elements.pop((NODE, event.node_id), None)
+            for attr, _value in event.attributes:
+                self.elements.pop((NODE_ATTR, event.node_id, attr), None)
+        elif t == EventType.EDGE_ADD:
+            self.elements[(EDGE, event.edge_id)] = (event.src, event.dst,
+                                                    event.directed)
+            for attr, value in event.attributes:
+                self.elements[(EDGE_ATTR, event.edge_id, attr)] = value
+        elif t == EventType.EDGE_DELETE:
+            self.elements.pop((EDGE, event.edge_id), None)
+            for attr, _value in event.attributes:
+                self.elements.pop((EDGE_ATTR, event.edge_id, attr), None)
+        elif t == EventType.NODE_ATTR:
+            key = (NODE_ATTR, event.node_id, event.attr)
+            if event.new_value is None:
+                self.elements.pop(key, None)
+            else:
+                self.elements[key] = event.new_value
+        elif t == EventType.EDGE_ATTR:
+            key = (EDGE_ATTR, event.edge_id, event.attr)
+            if event.new_value is None:
+                self.elements.pop(key, None)
+            else:
+                self.elements[key] = event.new_value
+        else:  # pragma: no cover - defensive
+            raise EventError(f"cannot apply event type {t}")
+
+    def _apply_backward(self, event: Event) -> None:
+        t = event.type
+        if t == EventType.NODE_ADD:
+            self.elements.pop((NODE, event.node_id), None)
+            for attr, _value in event.attributes:
+                self.elements.pop((NODE_ATTR, event.node_id, attr), None)
+        elif t == EventType.NODE_DELETE:
+            self.elements[(NODE, event.node_id)] = 1
+            for attr, value in event.attributes:
+                self.elements[(NODE_ATTR, event.node_id, attr)] = value
+        elif t == EventType.EDGE_ADD:
+            self.elements.pop((EDGE, event.edge_id), None)
+            for attr, _value in event.attributes:
+                self.elements.pop((EDGE_ATTR, event.edge_id, attr), None)
+        elif t == EventType.EDGE_DELETE:
+            self.elements[(EDGE, event.edge_id)] = (event.src, event.dst,
+                                                    event.directed)
+            for attr, value in event.attributes:
+                self.elements[(EDGE_ATTR, event.edge_id, attr)] = value
+        elif t == EventType.NODE_ATTR:
+            key = (NODE_ATTR, event.node_id, event.attr)
+            if event.old_value is None:
+                self.elements.pop(key, None)
+            else:
+                self.elements[key] = event.old_value
+        elif t == EventType.EDGE_ATTR:
+            key = (EDGE_ATTR, event.edge_id, event.attr)
+            if event.old_value is None:
+                self.elements.pop(key, None)
+            else:
+                self.elements[key] = event.old_value
+        else:  # pragma: no cover - defensive
+            raise EventError(f"cannot apply event type {t}")
+
+    def apply_events(self, events: Iterable[Event], forward: bool = True) -> None:
+        """Apply a sequence of events.
+
+        Forward application processes events in the given order; backward
+        application processes them in reverse order (undoing the most recent
+        change first), matching ``G_{k-1} = G_k - E``.
+        """
+        events = list(events)
+        if not forward:
+            events = list(reversed(events))
+        for event in events:
+            self.apply_event(event, forward=forward)
+
+    # ------------------------------------------------------------------
+    # raw element mutation (used when applying deltas)
+    # ------------------------------------------------------------------
+
+    def add_elements(self, items: Iterable[Tuple[ElementKey, object]]) -> None:
+        """Insert (or overwrite) raw element entries."""
+        self._invalidate_cache()
+        for key, value in items:
+            self.elements[key] = value
+
+    def remove_elements(self, keys: Iterable[ElementKey]) -> None:
+        """Remove raw element entries (missing keys are ignored)."""
+        self._invalidate_cache()
+        for key in keys:
+            self.elements.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+
+    def component_sizes(self) -> Dict[str, int]:
+        """Number of elements per columnar component."""
+        sizes = {COMPONENT_STRUCT: 0, COMPONENT_NODEATTR: 0,
+                 COMPONENT_EDGEATTR: 0}
+        for key in self.elements:
+            sizes[element_component(key)] += 1
+        return sizes
+
+    def filtered(self, components: Iterable[str]) -> "GraphSnapshot":
+        """A copy containing only the requested columnar components."""
+        wanted = set(components)
+        return GraphSnapshot(
+            {k: v for k, v in self.elements.items()
+             if element_component(k) in wanted},
+            time=self.time)
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event],
+                    time: Optional[int] = None) -> "GraphSnapshot":
+        """Build a snapshot by replaying events onto an empty graph."""
+        snapshot = cls(time=time)
+        snapshot.apply_events(events, forward=True)
+        return snapshot
+
+    @classmethod
+    def empty(cls, time: Optional[int] = None) -> "GraphSnapshot":
+        """The empty graph (used for the DeltaGraph super-root)."""
+        return cls({}, time=time)

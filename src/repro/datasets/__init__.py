@@ -1,0 +1,28 @@
+"""Workload generators and loaders for the paper's three datasets.
+
+* :mod:`~repro.datasets.coauthorship` — Dataset 1: growing-only DBLP-like
+  co-authorship trace,
+* :mod:`~repro.datasets.random_trace` — Datasets 2 and 3: a starting
+  snapshot followed by a random interleaving of edge additions/deletions,
+* :mod:`~repro.datasets.loaders` — JSON-lines persistence of event traces.
+"""
+
+from .coauthorship import CoauthorshipConfig, generate_coauthorship_trace
+from .loaders import read_events_jsonl, write_events_jsonl
+from .random_trace import (
+    RandomTraceConfig,
+    generate_citation_style_dataset,
+    generate_random_trace,
+    generate_starting_snapshot,
+)
+
+__all__ = [
+    "CoauthorshipConfig",
+    "generate_coauthorship_trace",
+    "read_events_jsonl",
+    "write_events_jsonl",
+    "RandomTraceConfig",
+    "generate_citation_style_dataset",
+    "generate_random_trace",
+    "generate_starting_snapshot",
+]

@@ -1,0 +1,68 @@
+"""Reading and writing event traces as JSON-lines files.
+
+Real deployments would ingest change feeds from an external system; for the
+reproduction we persist generated traces so that experiments are repeatable
+without regenerating workloads, and so users can bring their own traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator
+
+from ..core.events import Event, EventList, EventType
+
+__all__ = ["write_events_jsonl", "read_events_jsonl"]
+
+
+def _event_to_dict(event: Event) -> dict:
+    return {
+        "type": event.type.value,
+        "time": event.time,
+        "node_id": event.node_id,
+        "edge_id": event.edge_id,
+        "src": event.src,
+        "dst": event.dst,
+        "directed": event.directed,
+        "attr": event.attr,
+        "old_value": event.old_value,
+        "new_value": event.new_value,
+        "attributes": list(event.attributes),
+    }
+
+
+def _event_from_dict(record: dict) -> Event:
+    return Event(
+        type=EventType(record["type"]),
+        time=record["time"],
+        node_id=record.get("node_id"),
+        edge_id=record.get("edge_id"),
+        src=record.get("src"),
+        dst=record.get("dst"),
+        directed=bool(record.get("directed", False)),
+        attr=record.get("attr"),
+        old_value=record.get("old_value"),
+        new_value=record.get("new_value"),
+        attributes=tuple((k, v) for k, v in record.get("attributes", [])),
+    )
+
+
+def write_events_jsonl(events: Iterable[Event], path: str) -> int:
+    """Write events to a JSON-lines file; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(_event_to_dict(event)) + "\n")
+            count += 1
+    return count
+
+
+def read_events_jsonl(path: str) -> EventList:
+    """Read an event trace previously written by :func:`write_events_jsonl`."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(_event_from_dict(json.loads(line)))
+    return EventList(events)

@@ -1,0 +1,26 @@
+"""Distributed / parallel substrate: partitioned retrieval and Pregel-like BSP."""
+
+from .algorithms import (
+    ConnectedComponentsProgram,
+    PageRankProgram,
+    SingleSourceShortestPathsProgram,
+    pregel_connected_components,
+    pregel_pagerank,
+    pregel_sssp,
+)
+from .partitioned import ParallelRetrievalResult, PartitionedHistoricalGraphStore
+from .pregel import PregelEngine, VertexContext, VertexProgram
+
+__all__ = [
+    "ConnectedComponentsProgram",
+    "PageRankProgram",
+    "SingleSourceShortestPathsProgram",
+    "pregel_connected_components",
+    "pregel_pagerank",
+    "pregel_sssp",
+    "ParallelRetrievalResult",
+    "PartitionedHistoricalGraphStore",
+    "PregelEngine",
+    "VertexContext",
+    "VertexProgram",
+]

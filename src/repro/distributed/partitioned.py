@@ -1,0 +1,139 @@
+"""Partitioned deployment: parallel snapshot retrieval and processing.
+
+The paper stores each delta/eventlist horizontally partitioned by the hash
+of the element's id, runs one key-value store per machine, loads each
+snapshot partition onto its machine independently (no network communication
+during retrieval), and runs a Pregel-like framework over the loaded
+partitions (Sections 3.2.2 and 4.6, the Dataset 3 experiment, and the
+multi-core experiment of Figure 8b).
+
+:class:`PartitionedHistoricalGraphStore` simulates that deployment inside
+one process: one worker (thread) per partition retrieves its share of every
+requested snapshot from the shared DeltaGraph, each worker keeps its own
+GraphPool, and graph computations run on the merged snapshot through the
+Pregel engine with the same number of workers.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.deltagraph import DeltaGraph
+from ..core.events import Event
+from ..core.snapshot import GraphSnapshot
+from ..graphpool.pool import GraphPool
+from ..storage.kvstore import KVStore
+from .algorithms import pregel_pagerank
+from .pregel import PregelEngine, VertexProgram
+
+__all__ = ["PartitionedHistoricalGraphStore", "ParallelRetrievalResult"]
+
+
+@dataclass
+class ParallelRetrievalResult:
+    """Outcome of a parallel snapshot retrieval."""
+
+    snapshot: GraphSnapshot
+    per_partition_seconds: List[float]
+    wall_seconds: float
+
+    @property
+    def max_partition_seconds(self) -> float:
+        """The slowest partition's retrieval time (the critical path)."""
+        return max(self.per_partition_seconds) if self.per_partition_seconds else 0.0
+
+
+class PartitionedHistoricalGraphStore:
+    """A DeltaGraph deployed across ``num_partitions`` logical workers."""
+
+    def __init__(self, events: Iterable[Event], num_partitions: int = 4,
+                 store: Optional[KVStore] = None,
+                 leaf_eventlist_size: int = 2000, arity: int = 4,
+                 differential_functions: Sequence = ("intersection",),
+                 initial_graph: Optional[GraphSnapshot] = None) -> None:
+        self.num_partitions = num_partitions
+        self.index = DeltaGraph.build(
+            events, store=store, leaf_eventlist_size=leaf_eventlist_size,
+            arity=arity, differential_functions=differential_functions,
+            num_partitions=num_partitions, initial_graph=initial_graph)
+        #: One GraphPool per worker, mirroring per-machine memory.
+        self.pools: List[GraphPool] = [GraphPool() for _ in range(num_partitions)]
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+
+    def _retrieve_partition(self, partition_id: int, time: int,
+                            components: Optional[Sequence[str]]
+                            ) -> "tuple[GraphSnapshot, float]":
+        started = _time.perf_counter()
+        part = self.index.get_snapshot(time, components=components,
+                                       partitions=[partition_id])
+        self.pools[partition_id].add_historical(part, time=time)
+        return part, _time.perf_counter() - started
+
+    def get_snapshot(self, time: int,
+                     components: Optional[Sequence[str]] = None,
+                     workers: Optional[int] = None) -> ParallelRetrievalResult:
+        """Retrieve a snapshot with one worker thread per partition.
+
+        ``workers`` can be lowered to study the speedup curve (Figure 8b);
+        it defaults to the number of partitions.
+        """
+        workers = workers or self.num_partitions
+        workers = max(1, min(workers, self.num_partitions))
+        started = _time.perf_counter()
+        if workers == 1:
+            results = [self._retrieve_partition(p, time, components)
+                       for p in range(self.num_partitions)]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(
+                    lambda p: self._retrieve_partition(p, time, components),
+                    range(self.num_partitions)))
+        wall = _time.perf_counter() - started
+        parts = [snapshot for snapshot, _seconds in results]
+        timings = [seconds for _snapshot, seconds in results]
+        merged = self.index.partitioner.merge_snapshots(parts)
+        merged.time = time
+        return ParallelRetrievalResult(snapshot=merged,
+                                       per_partition_seconds=timings,
+                                       wall_seconds=wall)
+
+    # ------------------------------------------------------------------
+    # processing
+    # ------------------------------------------------------------------
+
+    def run_program(self, time: int, program: VertexProgram,
+                    workers: Optional[int] = None,
+                    components: Optional[Sequence[str]] = None
+                    ) -> Dict[object, object]:
+        """Retrieve the snapshot at ``time`` and run a vertex program on it."""
+        workers = workers or self.num_partitions
+        result = self.get_snapshot(time, components=components, workers=workers)
+        engine = PregelEngine(result.snapshot, program, num_workers=workers)
+        return engine.run()
+
+    def pagerank_at(self, time: int, iterations: int = 10,
+                    workers: Optional[int] = None) -> Dict[object, float]:
+        """PageRank over the snapshot at ``time`` (the Dataset 3 experiment)."""
+        workers = workers or self.num_partitions
+        result = self.get_snapshot(time, components=["struct"], workers=workers)
+        return pregel_pagerank(result.snapshot, iterations=iterations,
+                               num_workers=workers)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def partition_memory_entries(self) -> List[int]:
+        """Union-entry counts of the per-worker GraphPools."""
+        return [pool.union_entry_count() for pool in self.pools]
+
+    def describe(self) -> str:
+        """One-line summary of the partitioned deployment."""
+        return (f"PartitionedHistoricalGraphStore(partitions={self.num_partitions}, "
+                f"{self.index.describe()})")

@@ -1,0 +1,158 @@
+"""A Pregel-like vertex-centric bulk-synchronous processing framework.
+
+The paper implements "an iterative vertex-based message-passing system
+analogous to Pregel" on top of retrieved snapshots, and uses it to run
+PageRank over partitioned historical graphs (the Dataset 3 experiment).
+This module provides that substrate:
+
+* a graph is partitioned over ``num_workers`` logical workers,
+* computation proceeds in supersteps; in each superstep every active vertex
+  runs the user's :class:`VertexProgram` with the messages sent to it in the
+  previous superstep, may mutate its value, send messages, and vote to halt,
+* workers execute their vertices on a thread pool (simulating the paper's
+  one-core-per-machine deployment) with a barrier between supersteps,
+* optional message combiners reduce message traffic, as in Pregel.
+
+The framework operates on any object exposing ``adjacency()`` — a
+:class:`~repro.core.snapshot.GraphSnapshot`, a
+:class:`~repro.graphpool.histgraph.HistGraph` view, or a plain dict.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set
+
+__all__ = ["VertexContext", "VertexProgram", "PregelEngine"]
+
+
+class VertexContext:
+    """The per-vertex view a :class:`VertexProgram` operates on."""
+
+    __slots__ = ("vertex_id", "value", "out_neighbors", "_engine", "_halted",
+                 "superstep")
+
+    def __init__(self, vertex_id, value, out_neighbors, engine, superstep):
+        self.vertex_id = vertex_id
+        self.value = value
+        self.out_neighbors = out_neighbors
+        self.superstep = superstep
+        self._engine = engine
+        self._halted = False
+
+    def send_message(self, target, message) -> None:
+        """Send a message to ``target`` for delivery in the next superstep."""
+        self._engine._post_message(target, message)
+
+    def send_message_to_all_neighbors(self, message) -> None:
+        """Send the same message to every out-neighbour."""
+        for neighbor in self.out_neighbors:
+            self._engine._post_message(neighbor, message)
+
+    def vote_to_halt(self) -> None:
+        """Deactivate this vertex until a new message arrives for it."""
+        self._halted = True
+
+    def num_vertices(self) -> int:
+        """Total number of vertices in the graph."""
+        return self._engine.num_vertices
+
+
+class VertexProgram:
+    """Base class for user computations (subclass and override hooks)."""
+
+    def initial_value(self, vertex_id, out_degree: int, num_vertices: int):
+        """Initial vertex value before superstep 0."""
+        return None
+
+    def compute(self, vertex: VertexContext, messages: List) -> None:
+        """Per-superstep computation for one vertex (must be overridden)."""
+        raise NotImplementedError
+
+    def combine(self, messages: List) -> List:
+        """Optional message combiner; default keeps all messages."""
+        return messages
+
+
+class PregelEngine:
+    """Superstep scheduler over a partitioned vertex set."""
+
+    def __init__(self, graph, program: VertexProgram, num_workers: int = 1,
+                 max_supersteps: int = 50) -> None:
+        adjacency = graph.adjacency() if hasattr(graph, "adjacency") else dict(graph)
+        self.adjacency: Dict[object, Set[object]] = {
+            v: set(neighbors) for v, neighbors in adjacency.items()}
+        # Make sure every referenced vertex exists even if it has no out-edges.
+        for neighbors in list(self.adjacency.values()):
+            for neighbor in neighbors:
+                self.adjacency.setdefault(neighbor, set())
+        self.program = program
+        self.num_workers = max(1, num_workers)
+        self.max_supersteps = max_supersteps
+        self.num_vertices = len(self.adjacency)
+        self.values: Dict[object, object] = {
+            v: program.initial_value(v, len(neighbors), self.num_vertices)
+            for v, neighbors in self.adjacency.items()}
+        self._partitions: List[List[object]] = [
+            [] for _ in range(self.num_workers)]
+        for vertex in self.adjacency:
+            self._partitions[hash(vertex) % self.num_workers].append(vertex)
+        self._incoming: Dict[object, List] = {}
+        self._outgoing: Dict[object, List] = {}
+        self._active: Set[object] = set(self.adjacency)
+        self.superstep = 0
+
+    # ------------------------------------------------------------------
+    # message plumbing
+    # ------------------------------------------------------------------
+
+    def _post_message(self, target, message) -> None:
+        self._outgoing.setdefault(target, []).append(message)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _run_partition(self, vertices: Iterable[object]) -> None:
+        for vertex_id in vertices:
+            messages = self._incoming.get(vertex_id, [])
+            if vertex_id not in self._active and not messages:
+                continue
+            context = VertexContext(vertex_id, self.values[vertex_id],
+                                    self.adjacency[vertex_id], self,
+                                    self.superstep)
+            self.program.compute(context, messages)
+            self.values[vertex_id] = context.value
+            if context._halted:
+                self._active.discard(vertex_id)
+            else:
+                self._active.add(vertex_id)
+
+    def run(self) -> Dict[object, object]:
+        """Run supersteps until all vertices halt with no pending messages.
+
+        Returns the final vertex values.
+        """
+        while self.superstep < self.max_supersteps:
+            if not self._active and not self._incoming:
+                break
+            self._outgoing = {}
+            if self.num_workers == 1:
+                for partition in self._partitions:
+                    self._run_partition(partition)
+            else:
+                # Message posting appends to per-target lists; the GIL makes
+                # list.append atomic, so worker threads can share _outgoing.
+                with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+                    list(pool.map(self._run_partition, self._partitions))
+            combined: Dict[object, List] = {}
+            for target, messages in self._outgoing.items():
+                combined[target] = self.program.combine(messages)
+            self._incoming = combined
+            # Vertices with pending messages are reactivated next superstep.
+            for target in self._incoming:
+                if target in self.adjacency:
+                    self._active.add(target)
+            self.superstep += 1
+        return dict(self.values)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` historical graph database.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class.  Specific subclasses communicate the
+layer at which the failure happened (storage, index, query planning, pool).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class StorageError(ReproError):
+    """A failure in the persistent key-value store layer."""
+
+
+class KeyNotFoundError(StorageError, KeyError):
+    """A requested key is not present in the key-value store."""
+
+
+class IndexError_(ReproError):
+    """A structural problem in the DeltaGraph index.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`; exported as ``DeltaGraphIndexError``.
+    """
+
+
+# Public alias with a clearer name.
+DeltaGraphIndexError = IndexError_
+
+
+class QueryError(ReproError):
+    """A snapshot query could not be planned or executed."""
+
+
+class TimeOutOfRangeError(QueryError):
+    """The requested timepoint lies outside the indexed history."""
+
+
+class GraphPoolError(ReproError):
+    """A problem overlaying or cleaning up graphs in the GraphPool."""
+
+
+class EventError(ReproError):
+    """An event is malformed or cannot be applied to a snapshot."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid construction parameters (arity, leaf size, function, ...)."""

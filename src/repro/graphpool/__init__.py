@@ -1,0 +1,29 @@
+"""GraphPool: in-memory, bitmap-overlaid storage of many graph snapshots.
+
+Implements Section 6 of the paper: the union structure with per-entry
+bitmaps (:mod:`~repro.graphpool.pool`), bit allocation with the bit-pair /
+dependent-graph optimization (:mod:`~repro.graphpool.bitmap`), and the
+``HistGraph`` read API used by analysis code (:mod:`~repro.graphpool.histgraph`).
+"""
+
+from .bitmap import (
+    CURRENT_BIT,
+    RECENTLY_DELETED_BIT,
+    BitAllocator,
+    GraphKind,
+    GraphRegistration,
+)
+from .histgraph import HistEdge, HistGraph, HistNode
+from .pool import GraphPool
+
+__all__ = [
+    "CURRENT_BIT",
+    "RECENTLY_DELETED_BIT",
+    "BitAllocator",
+    "GraphKind",
+    "GraphRegistration",
+    "HistEdge",
+    "HistGraph",
+    "HistNode",
+    "GraphPool",
+]

@@ -1,0 +1,199 @@
+"""Bit allocation for the GraphPool (Section 6 of the paper).
+
+Every element in the GraphPool's union graph carries a bitmap recording
+which of the *active graphs* contain it.  Bits are assigned as follows:
+
+* bits 0 and 1 are reserved for the **current graph**: bit 0 marks current
+  membership, bit 1 marks elements recently deleted from the current graph
+  that are not yet part of the DeltaGraph index,
+* each **materialized graph** receives a single bit,
+* each **historical graph** receives a *bit pair* ``{2i, 2i+1}``: when bit
+  ``2i`` is set the element's membership is *identical* to its membership in
+  the graph the historical snapshot was marked dependent on (a materialized
+  graph or the current graph); when bit ``2i`` is clear, bit ``2i+1`` alone
+  says whether the element belongs to the historical graph.
+
+The dependent-graph trick avoids touching every element of the union when a
+retrieved snapshot differs from an already-resident graph in only a few
+elements.
+
+Bitmaps themselves are arbitrary-precision Python integers, so they grow
+automatically as more graphs are registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..errors import GraphPoolError
+
+__all__ = ["GraphKind", "GraphRegistration", "BitAllocator",
+           "CURRENT_BIT", "RECENTLY_DELETED_BIT"]
+
+#: Bit marking membership in the current graph.
+CURRENT_BIT = 0
+#: Bit marking elements deleted from the current graph but not yet indexed.
+RECENTLY_DELETED_BIT = 1
+
+
+class GraphKind(Enum):
+    """The three kinds of active graphs a GraphPool can hold."""
+
+    CURRENT = "current"
+    HISTORICAL = "historical"
+    MATERIALIZED = "materialized"
+
+
+@dataclass
+class GraphRegistration:
+    """Book-keeping for one active graph in the pool.
+
+    ``primary_bit`` is the single bit for current/materialized graphs and
+    the *dependency* bit ``2i`` for historical graphs; ``secondary_bit`` is
+    the membership bit ``2i+1`` of historical graphs.  ``dependency`` is the
+    graph-id of the materialized (or current) graph a historical snapshot
+    was marked dependent on, if any.
+    """
+
+    graph_id: int
+    kind: GraphKind
+    primary_bit: int
+    secondary_bit: Optional[int] = None
+    dependency: Optional[int] = None
+    time: Optional[int] = None
+    description: str = ""
+
+    @property
+    def bits(self) -> List[int]:
+        """All bits owned by this registration."""
+        if self.secondary_bit is None:
+            return [self.primary_bit]
+        return [self.primary_bit, self.secondary_bit]
+
+
+class BitAllocator:
+    """Allocates bitmap bits to graphs and maintains the GraphID-Bit table."""
+
+    def __init__(self) -> None:
+        self._next_bit = 2  # bits 0/1 belong to the current graph
+        self._next_graph_id = 1
+        self._registrations: Dict[int, GraphRegistration] = {}
+        self._free_single_bits: List[int] = []
+        self._free_bit_pairs: List[int] = []
+        current = GraphRegistration(graph_id=0, kind=GraphKind.CURRENT,
+                                    primary_bit=CURRENT_BIT,
+                                    secondary_bit=RECENTLY_DELETED_BIT,
+                                    description="current graph")
+        self._registrations[0] = current
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> GraphRegistration:
+        """The registration of the current graph (graph id 0)."""
+        return self._registrations[0]
+
+    def register_historical(self, time: Optional[int] = None,
+                            dependency: Optional[int] = None,
+                            description: str = "") -> GraphRegistration:
+        """Register a historical snapshot; returns its bit pair."""
+        if dependency is not None and dependency not in self._registrations:
+            raise GraphPoolError(f"unknown dependency graph {dependency}")
+        if self._free_bit_pairs:
+            first = self._free_bit_pairs.pop()
+        else:
+            first = self._allocate_aligned_pair()
+        registration = GraphRegistration(
+            graph_id=self._take_graph_id(), kind=GraphKind.HISTORICAL,
+            primary_bit=first, secondary_bit=first + 1,
+            dependency=dependency, time=time, description=description)
+        self._registrations[registration.graph_id] = registration
+        return registration
+
+    def register_materialized(self, time: Optional[int] = None,
+                              description: str = "") -> GraphRegistration:
+        """Register a materialized graph; returns its single bit."""
+        if self._free_single_bits:
+            bit = self._free_single_bits.pop()
+        else:
+            bit = self._next_bit
+            self._next_bit += 1
+        registration = GraphRegistration(
+            graph_id=self._take_graph_id(), kind=GraphKind.MATERIALIZED,
+            primary_bit=bit, time=time, description=description)
+        self._registrations[registration.graph_id] = registration
+        return registration
+
+    def _allocate_aligned_pair(self) -> int:
+        """Allocate two consecutive bits ``{2i, 2i+1}`` for a bit pair."""
+        if self._next_bit % 2 == 1:
+            # Keep the orphaned odd bit available for a materialized graph.
+            self._free_single_bits.append(self._next_bit)
+            self._next_bit += 1
+        first = self._next_bit
+        self._next_bit += 2
+        return first
+
+    def _take_graph_id(self) -> int:
+        graph_id = self._next_graph_id
+        self._next_graph_id += 1
+        return graph_id
+
+    # ------------------------------------------------------------------
+    # release / lookup
+    # ------------------------------------------------------------------
+
+    def release(self, graph_id: int) -> GraphRegistration:
+        """Release a graph's bits (the current graph cannot be released)."""
+        if graph_id == 0:
+            raise GraphPoolError("the current graph cannot be released")
+        try:
+            registration = self._registrations.pop(graph_id)
+        except KeyError:
+            raise GraphPoolError(f"unknown graph id {graph_id}") from None
+        if registration.kind == GraphKind.HISTORICAL:
+            self._free_bit_pairs.append(registration.primary_bit)
+        else:
+            self._free_single_bits.append(registration.primary_bit)
+        return registration
+
+    def get(self, graph_id: int) -> GraphRegistration:
+        """Registration for ``graph_id`` (raises for unknown ids)."""
+        try:
+            return self._registrations[graph_id]
+        except KeyError:
+            raise GraphPoolError(f"unknown graph id {graph_id}") from None
+
+    def registrations(self) -> List[GraphRegistration]:
+        """All active registrations (including the current graph)."""
+        return list(self._registrations.values())
+
+    def dependents_of(self, graph_id: int) -> List[GraphRegistration]:
+        """Historical graphs registered as dependent on ``graph_id``."""
+        return [r for r in self._registrations.values()
+                if r.dependency == graph_id]
+
+    def active_graph_count(self) -> int:
+        """Number of active graphs, including the current graph."""
+        return len(self._registrations)
+
+    def bitmap_width(self) -> int:
+        """Number of bits currently allocated (the logical bitmap width)."""
+        return self._next_bit
+
+    def mapping_table(self) -> List[Dict[str, object]]:
+        """The GraphID-Bit mapping table (Figure 5c) as a list of rows."""
+        rows = []
+        for registration in self._registrations.values():
+            rows.append({
+                "bits": registration.bits,
+                "graph_id": registration.graph_id,
+                "kind": registration.kind.value,
+                "dependency": registration.dependency,
+                "time": registration.time,
+            })
+        return rows

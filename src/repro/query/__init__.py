@@ -1,0 +1,14 @@
+"""Query layer: attribute options, time expressions, and the manager facade."""
+
+from .attr_options import AttributeFilter, parse_attr_options
+from .managers import GraphManager, HistoryManager, QueryManager
+from .time_expression import TimeExpression
+
+__all__ = [
+    "AttributeFilter",
+    "parse_attr_options",
+    "GraphManager",
+    "HistoryManager",
+    "QueryManager",
+    "TimeExpression",
+]

@@ -1,0 +1,134 @@
+"""Parsing of the ``attr_options`` strings used by the retrieval API.
+
+Snapshot queries can specify which attribute information to fetch (Table 1
+of the paper) as a concatenation of sub-options, e.g.::
+
+    "+node:all-node:salary+edge:name"
+
+means "all node attributes except ``salary``, plus the edge attribute
+``name``".  The default (empty string) fetches no attributes at all — only
+the graph structure — which is what makes the columnar storage pay off.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..core.snapshot import (
+    COMPONENT_EDGEATTR,
+    COMPONENT_NODEATTR,
+    COMPONENT_STRUCT,
+    EDGE_ATTR,
+    NODE_ATTR,
+    GraphSnapshot,
+)
+from ..errors import QueryError
+
+__all__ = ["AttributeFilter", "parse_attr_options"]
+
+_TOKEN = re.compile(r"([+-])(node|edge):([A-Za-z0-9_*]+|all)")
+
+
+@dataclass
+class AttributeFilter:
+    """Which node/edge attributes a snapshot query should return.
+
+    ``node_all`` / ``edge_all`` select every attribute of that kind;
+    ``node_include`` / ``edge_include`` add specific attributes on top of a
+    ``-all`` default; ``node_exclude`` / ``edge_exclude`` remove specific
+    attributes from a ``+all`` selection (per Table 1, the specific option
+    overrides the ``all`` option for that attribute).
+    """
+
+    node_all: bool = False
+    edge_all: bool = False
+    node_include: Set[str] = field(default_factory=set)
+    node_exclude: Set[str] = field(default_factory=set)
+    edge_include: Set[str] = field(default_factory=set)
+    edge_exclude: Set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+
+    def wants_node_attrs(self) -> bool:
+        """Whether any node attributes must be fetched."""
+        return self.node_all or bool(self.node_include)
+
+    def wants_edge_attrs(self) -> bool:
+        """Whether any edge attributes must be fetched."""
+        return self.edge_all or bool(self.edge_include)
+
+    def components(self) -> List[str]:
+        """Columnar components the DeltaGraph must fetch for this filter."""
+        components = [COMPONENT_STRUCT]
+        if self.wants_node_attrs():
+            components.append(COMPONENT_NODEATTR)
+        if self.wants_edge_attrs():
+            components.append(COMPONENT_EDGEATTR)
+        return components
+
+    def accepts_node_attr(self, name: str) -> bool:
+        """Whether a node attribute named ``name`` should be returned."""
+        if name in self.node_exclude:
+            return False
+        if name in self.node_include:
+            return True
+        return self.node_all
+
+    def accepts_edge_attr(self, name: str) -> bool:
+        """Whether an edge attribute named ``name`` should be returned."""
+        if name in self.edge_exclude:
+            return False
+        if name in self.edge_include:
+            return True
+        return self.edge_all
+
+    def apply(self, snapshot: GraphSnapshot) -> GraphSnapshot:
+        """Drop attribute entries the filter does not accept (in place)."""
+        to_remove = []
+        for key in snapshot.elements:
+            if key[0] == NODE_ATTR and not self.accepts_node_attr(key[2]):
+                to_remove.append(key)
+            elif key[0] == EDGE_ATTR and not self.accepts_edge_attr(key[2]):
+                to_remove.append(key)
+        snapshot.remove_elements(to_remove)
+        return snapshot
+
+    @property
+    def is_structure_only(self) -> bool:
+        """True when no attributes at all are requested."""
+        return not (self.wants_node_attrs() or self.wants_edge_attrs())
+
+
+def parse_attr_options(options: str) -> AttributeFilter:
+    """Parse an ``attr_options`` string into an :class:`AttributeFilter`.
+
+    >>> f = parse_attr_options("+node:all-node:salary+edge:name")
+    >>> f.accepts_node_attr("age"), f.accepts_node_attr("salary")
+    (True, False)
+    >>> f.accepts_edge_attr("name"), f.accepts_edge_attr("weight")
+    (True, False)
+    """
+    options = (options or "").strip()
+    result = AttributeFilter()
+    if not options:
+        return result
+    consumed = 0
+    for match in _TOKEN.finditer(options):
+        consumed += len(match.group(0))
+        sign, kind, name = match.groups()
+        include = sign == "+"
+        if name == "all":
+            if kind == "node":
+                result.node_all = include
+            else:
+                result.edge_all = include
+            continue
+        if kind == "node":
+            (result.node_include if include else result.node_exclude).add(name)
+        else:
+            (result.edge_include if include else result.edge_exclude).add(name)
+    if consumed != len(options.replace(" ", "")):
+        raise QueryError(f"could not parse attr_options string {options!r}")
+    return result

@@ -1,0 +1,252 @@
+"""System components tying the DeltaGraph and the GraphPool together.
+
+The paper's architecture (Figure 2) has three managers below the analyst
+API:
+
+* :class:`HistoryManager` — owns the DeltaGraph: construction, query
+  planning, reading deltas/eventlists from the store, materialization;
+* :class:`GraphManager` — owns the GraphPool: overlays retrieved snapshots,
+  assigns bits, tracks dependencies, and cleans up released graphs.  It is
+  also the facade analysis code talks to (``get_hist_graph`` & friends);
+* :class:`QueryManager` — translates external references (user ids) to
+  internal node ids and back using a lookup table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.deltagraph import DeltaGraph
+from ..core.events import Event, EventList
+from ..core.snapshot import GraphSnapshot
+from ..errors import QueryError
+from ..graphpool.histgraph import HistGraph
+from ..graphpool.pool import GraphPool
+from ..storage.kvstore import KVStore
+from .attr_options import AttributeFilter, parse_attr_options
+from .time_expression import TimeExpression
+
+__all__ = ["HistoryManager", "GraphManager", "QueryManager"]
+
+
+class HistoryManager:
+    """Manages the DeltaGraph index: construction, planning, disk I/O."""
+
+    def __init__(self, index: DeltaGraph) -> None:
+        self.index = index
+
+    @classmethod
+    def build_index(cls, events: Iterable[Event], store: Optional[KVStore] = None,
+                    **construction_parameters) -> "HistoryManager":
+        """Construct a DeltaGraph from an event trace (Section 4.6)."""
+        return cls(DeltaGraph.build(events, store=store,
+                                    **construction_parameters))
+
+    def retrieve(self, time: int, attr_filter: AttributeFilter) -> GraphSnapshot:
+        """Retrieve a single snapshot honouring the attribute filter."""
+        snapshot = self.index.get_snapshot(time,
+                                           components=attr_filter.components())
+        return attr_filter.apply(snapshot)
+
+    def retrieve_many(self, times: Sequence[int],
+                      attr_filter: AttributeFilter) -> List[GraphSnapshot]:
+        """Retrieve several snapshots with one multipoint plan."""
+        snapshots = self.index.get_snapshots(times,
+                                             components=attr_filter.components())
+        return [attr_filter.apply(s) for s in snapshots]
+
+    def retrieve_interval(self, start: int, end: int,
+                          attr_filter: AttributeFilter) -> GraphSnapshot:
+        """Graph over elements added in ``[start, end)`` plus transient events."""
+        snapshot = self.index.get_interval_graph(
+            start, end, components=attr_filter.components())
+        return attr_filter.apply(snapshot)
+
+    def materialize_node(self, node_id: str) -> GraphSnapshot:
+        """Materialize one DeltaGraph node in memory."""
+        return self.index.materialize(node_id)
+
+    def append_events(self, events: Iterable[Event]) -> None:
+        """Feed live updates into the index's recent eventlist."""
+        self.index.append_events(events)
+
+
+class GraphManager:
+    """User-facing facade: retrieves snapshots into the GraphPool.
+
+    Mirrors the paper's ``GraphManager``: the analyst asks for historical
+    graphs by time (or time expression / interval), receives
+    :class:`~repro.graphpool.histgraph.HistGraph` views backed by the pool,
+    and releases them when the analysis is done.
+    """
+
+    def __init__(self, index: DeltaGraph,
+                 pool: Optional[GraphPool] = None) -> None:
+        self.history = HistoryManager(index)
+        self.pool = pool if pool is not None else GraphPool()
+        self.pool.set_current(index.current_graph())
+        self._active: Dict[int, HistGraph] = {}
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, events: Iterable[Event], store: Optional[KVStore] = None,
+             **construction_parameters) -> "GraphManager":
+        """Build the DeltaGraph index and wrap it in a manager."""
+        manager = HistoryManager.build_index(events, store=store,
+                                             **construction_parameters)
+        return cls(manager.index)
+
+    @property
+    def index(self) -> DeltaGraph:
+        """The underlying DeltaGraph index."""
+        return self.history.index
+
+    # ------------------------------------------------------------------
+    # snapshot queries (paper Section 3.2.1)
+    # ------------------------------------------------------------------
+
+    def get_hist_graph(self, time: int, attr_options: str = "") -> HistGraph:
+        """``GetHistGraph(t, attr_options)`` — singlepoint retrieval."""
+        attr_filter = parse_attr_options(attr_options)
+        snapshot = self.history.retrieve(time, attr_filter)
+        return self._register(snapshot, time)
+
+    def get_hist_graphs(self, times: Sequence[int],
+                        attr_options: str = "") -> List[HistGraph]:
+        """``GetHistGraphs(t_list, attr_options)`` — multipoint retrieval."""
+        attr_filter = parse_attr_options(attr_options)
+        snapshots = self.history.retrieve_many(times, attr_filter)
+        return [self._register(snapshot, time)
+                for snapshot, time in zip(snapshots, times)]
+
+    def get_hist_graph_expression(self, expression: TimeExpression,
+                                  attr_options: str = "") -> HistGraph:
+        """``GetHistGraph(TimeExpression, ...)`` — hypothetical graph.
+
+        The constituent snapshots are fetched with one multipoint plan and
+        combined element-wise according to the boolean expression; an element
+        present in several snapshots takes its value from the latest one.
+        """
+        attr_filter = parse_attr_options(attr_options)
+        snapshots = self.history.retrieve_many(expression.times, attr_filter)
+        keys = set()
+        for snapshot in snapshots:
+            keys.update(snapshot.elements)
+        combined = GraphSnapshot.empty()
+        for key in keys:
+            memberships = [key in s.elements for s in snapshots]
+            if expression.evaluate(memberships):
+                value = None
+                for snapshot, member in zip(snapshots, memberships):
+                    if member:
+                        value = snapshot.elements[key]
+                combined.elements[key] = value
+        return self._register(combined, expression.times[-1])
+
+    def get_hist_graph_interval(self, start: int, end: int,
+                                attr_options: str = "") -> HistGraph:
+        """``GetHistGraphInterval(ts, te)`` — elements added in the interval."""
+        attr_filter = parse_attr_options(attr_options)
+        snapshot = self.history.retrieve_interval(start, end, attr_filter)
+        return self._register(snapshot, end)
+
+    # ------------------------------------------------------------------
+    # pool management
+    # ------------------------------------------------------------------
+
+    def _register(self, snapshot: GraphSnapshot, time: int) -> HistGraph:
+        registration = self.pool.add_historical(snapshot, time=time)
+        view = HistGraph(self.pool, registration.graph_id, time=time)
+        self._active[registration.graph_id] = view
+        return view
+
+    def materialize(self, node_id: str) -> HistGraph:
+        """Materialize a DeltaGraph node and overlay it on the pool."""
+        snapshot = self.history.materialize_node(node_id)
+        node = self.index.skeleton.nodes[node_id]
+        registration = self.pool.add_materialized(snapshot, time=node.time,
+                                                  description=node_id)
+        view = HistGraph(self.pool, registration.graph_id, time=node.time)
+        self._active[registration.graph_id] = view
+        return view
+
+    def active_graphs(self) -> List[HistGraph]:
+        """Views of all graphs retrieved through this manager."""
+        return list(self._active.values())
+
+    def release(self, graph: HistGraph) -> None:
+        """Mark a retrieved graph as no longer needed (lazy cleanup)."""
+        if graph.graph_id not in self._active:
+            raise QueryError(f"graph {graph.graph_id} is not active")
+        self.pool.release(graph.graph_id)
+        del self._active[graph.graph_id]
+
+    def cleanup(self) -> int:
+        """Run the lazy cleaner; returns the number of entries removed."""
+        return self.pool.cleanup()
+
+    # ------------------------------------------------------------------
+    # live updates
+    # ------------------------------------------------------------------
+
+    def apply_update(self, event: Event) -> None:
+        """Apply a live update to both the index and the pool's current graph."""
+        self.history.append_events([event])
+        self.pool.apply_current_event(event)
+
+    def apply_updates(self, events: Iterable[Event]) -> None:
+        """Apply a batch of live updates."""
+        for event in events:
+            self.apply_update(event)
+
+
+class QueryManager:
+    """Translates external ids to internal node ids and dispatches queries.
+
+    The mapping is application specific (the paper keeps it outside the core
+    system); this implementation maintains a simple bidirectional lookup
+    table populated by the caller or lazily from node attributes.
+    """
+
+    def __init__(self, graph_manager: GraphManager,
+                 external_attr: str = "name") -> None:
+        self.graphs = graph_manager
+        self.external_attr = external_attr
+        self._to_internal: Dict[str, int] = {}
+        self._to_external: Dict[int, str] = {}
+
+    def register_mapping(self, external_id: str, node_id: int) -> None:
+        """Add one external-id <-> internal-id pair to the lookup table."""
+        self._to_internal[external_id] = node_id
+        self._to_external[node_id] = external_id
+
+    def resolve(self, external_id: str) -> int:
+        """Internal node id for an external reference."""
+        try:
+            return self._to_internal[external_id]
+        except KeyError:
+            raise QueryError(f"unknown external id {external_id!r}") from None
+
+    def external_id(self, node_id: int) -> Optional[str]:
+        """External reference for an internal node id (``None`` if unmapped)."""
+        return self._to_external.get(node_id)
+
+    def populate_from_snapshot(self, snapshot: GraphSnapshot) -> int:
+        """Build the lookup table from a snapshot's node attributes."""
+        count = 0
+        for node_id in snapshot.node_ids():
+            value = snapshot.get_node_attr(node_id, self.external_attr)
+            if value is not None:
+                self.register_mapping(str(value), node_id)
+                count += 1
+        return count
+
+    def neighbors_of(self, external_id: str, time: int) -> List[str]:
+        """External ids of the neighbours of an entity as of ``time``."""
+        node_id = self.resolve(external_id)
+        graph = self.graphs.get_hist_graph(time)
+        return [self._to_external.get(nid, str(nid))
+                for nid in sorted(graph.neighbors(node_id))]

@@ -1,0 +1,81 @@
+"""TimeExpression: boolean combinations of timepoints (Section 3.2.1).
+
+``GetHistGraph(TimeExpression, ...)`` retrieves a *hypothetical* graph whose
+elements are those satisfying a boolean expression over their membership in
+the snapshots at ``k`` timepoints — e.g. ``t1 and not t2`` selects the
+components valid at ``t1`` but not at ``t2``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Sequence, Union
+
+from ..errors import QueryError
+
+__all__ = ["TimeExpression"]
+
+_ALLOWED_TOKEN = re.compile(r"^(t\d+|and|or|not|\(|\))$")
+
+
+class TimeExpression:
+    """A boolean expression over ``k`` timepoints.
+
+    Parameters
+    ----------
+    times:
+        The timepoints ``t1 ... tk`` (1-based in the expression string).
+    expression:
+        Either a callable taking ``k`` booleans and returning a boolean, or
+        a string using the variables ``t1 ... tk`` with ``and`` / ``or`` /
+        ``not`` and parentheses, e.g. ``"t1 and not t2"``.
+
+    >>> expr = TimeExpression([100, 200], "t1 and not t2")
+    >>> expr.evaluate([True, False]), expr.evaluate([True, True])
+    (True, False)
+    """
+
+    def __init__(self, times: Sequence[int],
+                 expression: Union[str, Callable[..., bool]]) -> None:
+        if not times:
+            raise QueryError("TimeExpression requires at least one timepoint")
+        self.times: List[int] = list(times)
+        if callable(expression):
+            self._evaluate = expression
+            self.expression_text = getattr(expression, "__name__", "<callable>")
+        else:
+            self.expression_text = expression
+            self._evaluate = self._compile(expression, len(self.times))
+
+    @staticmethod
+    def _compile(expression: str, arity: int) -> Callable[..., bool]:
+        tokens = re.findall(r"t\d+|and|or|not|\(|\)", expression)
+        reconstructed = "".join(re.sub(r"\s+", "", t) for t in tokens)
+        if reconstructed != re.sub(r"\s+", "", expression):
+            raise QueryError(f"invalid TimeExpression syntax: {expression!r}")
+        for token in tokens:
+            if not _ALLOWED_TOKEN.match(token):
+                raise QueryError(f"invalid token {token!r} in TimeExpression")
+            if token.startswith("t"):
+                index = int(token[1:])
+                if not 1 <= index <= arity:
+                    raise QueryError(
+                        f"{token} out of range; expression has {arity} timepoints")
+        code = compile(expression, "<TimeExpression>", "eval")
+
+        def evaluate(*memberships: bool) -> bool:
+            names = {f"t{i + 1}": bool(m) for i, m in enumerate(memberships)}
+            return bool(eval(code, {"__builtins__": {}}, names))
+
+        return evaluate
+
+    def evaluate(self, memberships: Sequence[bool]) -> bool:
+        """Evaluate the expression for one element's membership vector."""
+        if len(memberships) != len(self.times):
+            raise QueryError(
+                f"expected {len(self.times)} membership values, "
+                f"got {len(memberships)}")
+        return bool(self._evaluate(*memberships))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimeExpression(times={self.times}, expr={self.expression_text!r})"

@@ -1,0 +1,33 @@
+"""Persistent storage substrate for the DeltaGraph index.
+
+The paper stores deltas and leaf-eventlists in a disk-based key-value store
+(Kyoto Cabinet) addressed by ``(partition id, delta id, component)``.  This
+package provides drop-in equivalents:
+
+* :class:`~repro.storage.memory_store.InMemoryKVStore` — dictionary-backed,
+* :class:`~repro.storage.disk_store.DiskKVStore` — log-structured file store
+  with zlib compression,
+* :class:`~repro.storage.instrumented.InstrumentedKVStore` — accounting and
+  simulated-latency wrapper used by the benchmark harness.
+"""
+
+from .compression import Codec, CompressedCodec, PickleCodec, default_codec
+from .disk_store import DiskKVStore
+from .instrumented import InstrumentedKVStore, IOStats, SimulatedLatencyModel
+from .kvstore import KVStore, make_key, parse_key
+from .memory_store import InMemoryKVStore
+
+__all__ = [
+    "Codec",
+    "CompressedCodec",
+    "PickleCodec",
+    "default_codec",
+    "DiskKVStore",
+    "InMemoryKVStore",
+    "InstrumentedKVStore",
+    "IOStats",
+    "SimulatedLatencyModel",
+    "KVStore",
+    "make_key",
+    "parse_key",
+]

@@ -1,0 +1,154 @@
+"""Log-structured single-file key-value store.
+
+This is the repository's stand-in for Kyoto Cabinet: a persistent, disk-based
+store with a get/put interface, transparent compression, and an in-memory
+offset index.  Records are appended to a data file as
+``[key-length][key][value-length][value]``; ``put`` of an existing key simply
+appends a new record (the index points at the latest one) and ``delete``
+appends a tombstone.  :meth:`compact` rewrites the file keeping only live
+records.
+
+The design intentionally favours simplicity and crash-free single-process
+use (sufficient for experiments) over full durability guarantees.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..errors import KeyNotFoundError, StorageError
+from .compression import Codec, default_codec
+from .kvstore import KVStore, StorageKey
+
+__all__ = ["DiskKVStore"]
+
+_HEADER = struct.Struct(">II")  # key length, value length
+_TOMBSTONE = 0xFFFFFFFF
+
+
+class DiskKVStore(KVStore):
+    """Append-only file-backed :class:`~repro.storage.kvstore.KVStore`.
+
+    Parameters
+    ----------
+    path:
+        Path of the data file (created if missing; re-opened and re-indexed
+        if it already exists).
+    compress:
+        Whether to zlib-compress values (mirrors Kyoto Cabinet's built-in
+        compression used in the paper's experiments).
+    codec:
+        Explicit codec overriding ``compress``.
+    """
+
+    def __init__(self, path: str, compress: bool = True,
+                 codec: Optional[Codec] = None) -> None:
+        self.path = path
+        self._codec = codec if codec is not None else default_codec(compress)
+        self._index: Dict[StorageKey, Tuple[int, int]] = {}
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._file = open(path, "a+b")
+        self._rebuild_index()
+
+    # ------------------------------------------------------------------
+    # index maintenance
+    # ------------------------------------------------------------------
+
+    def _rebuild_index(self) -> None:
+        """Scan the data file and rebuild the key -> offset index."""
+        self._index.clear()
+        self._file.seek(0, os.SEEK_SET)
+        offset = 0
+        while True:
+            header = self._file.read(_HEADER.size)
+            if not header:
+                break
+            if len(header) < _HEADER.size:
+                raise StorageError(f"truncated record header in {self.path}")
+            key_len, value_len = _HEADER.unpack(header)
+            key = self._file.read(key_len).decode("utf-8")
+            if value_len == _TOMBSTONE:
+                self._index.pop(key, None)
+                offset = self._file.tell()
+                continue
+            value_offset = self._file.tell()
+            self._file.seek(value_len, os.SEEK_CUR)
+            self._index[key] = (value_offset, value_len)
+            offset = self._file.tell()
+        self._file.seek(0, os.SEEK_END)
+
+    # ------------------------------------------------------------------
+    # KVStore interface
+    # ------------------------------------------------------------------
+
+    def get(self, key: StorageKey) -> object:
+        try:
+            offset, length = self._index[key]
+        except KeyError:
+            raise KeyNotFoundError(key) from None
+        self._file.seek(offset, os.SEEK_SET)
+        payload = self._file.read(length)
+        self._file.seek(0, os.SEEK_END)
+        return self._codec.decode(payload)
+
+    def put(self, key: StorageKey, value: object) -> None:
+        payload = self._codec.encode(value)
+        encoded_key = key.encode("utf-8")
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(_HEADER.pack(len(encoded_key), len(payload)))
+        self._file.write(encoded_key)
+        value_offset = self._file.tell()
+        self._file.write(payload)
+        self._index[key] = (value_offset, len(payload))
+
+    def delete(self, key: StorageKey) -> None:
+        if key not in self._index:
+            return
+        encoded_key = key.encode("utf-8")
+        self._file.seek(0, os.SEEK_END)
+        self._file.write(_HEADER.pack(len(encoded_key), _TOMBSTONE))
+        self._file.write(encoded_key)
+        del self._index[key]
+
+    def keys(self) -> Iterator[StorageKey]:
+        return iter(list(self._index.keys()))
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    # ------------------------------------------------------------------
+    # maintenance and statistics
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush buffered writes to the operating system."""
+        self._file.flush()
+
+    def compact(self) -> None:
+        """Rewrite the data file keeping only the latest record per live key."""
+        live = {key: self.get(key) for key in self.keys()}
+        self._file.close()
+        os.replace(self.path, self.path + ".old")
+        self._file = open(self.path, "a+b")
+        self._index.clear()
+        for key, value in live.items():
+            self.put(key, value)
+        self.flush()
+        os.remove(self.path + ".old")
+
+    def total_bytes(self) -> int:
+        """Total bytes of live stored values (excluding headers and keys)."""
+        return sum(length for _offset, length in self._index.values())
+
+    def file_bytes(self) -> int:
+        """Size of the backing file on disk (includes dead records)."""
+        self._file.flush()
+        return os.path.getsize(self.path)
+
+    def __len__(self) -> int:
+        return len(self._index)

@@ -1,0 +1,146 @@
+"""Instrumented key-value store wrapper.
+
+Wraps any :class:`~repro.storage.kvstore.KVStore` and records the number of
+``get``/``put`` operations and the bytes transferred.  It can additionally
+charge a *simulated latency* per operation and per byte, so that benchmarks
+can report a deterministic "retrieval cost" in addition to wall-clock time —
+the quantity that drives the paper's latency figures is the amount of delta
+data fetched from persistent storage, which this wrapper measures exactly.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .kvstore import KVStore, StorageKey
+
+__all__ = ["IOStats", "InstrumentedKVStore", "SimulatedLatencyModel"]
+
+
+@dataclass
+class SimulatedLatencyModel:
+    """A simple linear cost model for storage accesses.
+
+    ``cost = per_get + bytes * per_byte`` (seconds).  When ``sleep`` is true
+    the wrapper actually sleeps, making wall-clock benchmarks reflect the
+    model; otherwise the cost is only accumulated in :class:`IOStats`.
+    """
+
+    per_get: float = 0.0002
+    per_byte: float = 2e-8
+    per_put: float = 0.0002
+    sleep: bool = False
+
+    def get_cost(self, nbytes: int) -> float:
+        """Simulated cost of reading ``nbytes`` from the store."""
+        return self.per_get + nbytes * self.per_byte
+
+    def put_cost(self, nbytes: int) -> float:
+        """Simulated cost of writing ``nbytes`` to the store."""
+        return self.per_put + nbytes * self.per_byte
+
+
+@dataclass
+class IOStats:
+    """Counters accumulated by :class:`InstrumentedKVStore`."""
+
+    gets: int = 0
+    puts: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.gets = 0
+        self.puts = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.simulated_seconds = 0.0
+        self.wall_seconds = 0.0
+
+    def snapshot(self) -> "IOStats":
+        """A copy of the current counters."""
+        return IOStats(self.gets, self.puts, self.bytes_read,
+                       self.bytes_written, self.simulated_seconds,
+                       self.wall_seconds)
+
+    def __sub__(self, other: "IOStats") -> "IOStats":
+        return IOStats(self.gets - other.gets, self.puts - other.puts,
+                       self.bytes_read - other.bytes_read,
+                       self.bytes_written - other.bytes_written,
+                       self.simulated_seconds - other.simulated_seconds,
+                       self.wall_seconds - other.wall_seconds)
+
+
+def _approx_size(value: object) -> int:
+    """Approximate serialized size of a value in bytes."""
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # pragma: no cover - unpicklable values
+        return 0
+
+
+class InstrumentedKVStore(KVStore):
+    """Decorator adding I/O accounting (and optional simulated latency).
+
+    Parameters
+    ----------
+    inner:
+        The store to wrap.
+    latency:
+        Optional :class:`SimulatedLatencyModel`; when omitted only raw
+        counters are recorded.
+    """
+
+    def __init__(self, inner: KVStore,
+                 latency: Optional[SimulatedLatencyModel] = None) -> None:
+        self.inner = inner
+        self.latency = latency
+        self.stats = IOStats()
+
+    def get(self, key: StorageKey) -> object:
+        start = time.perf_counter()
+        value = self.inner.get(key)
+        nbytes = _approx_size(value)
+        self.stats.gets += 1
+        self.stats.bytes_read += nbytes
+        if self.latency is not None:
+            cost = self.latency.get_cost(nbytes)
+            self.stats.simulated_seconds += cost
+            if self.latency.sleep:
+                time.sleep(cost)
+        self.stats.wall_seconds += time.perf_counter() - start
+        return value
+
+    def put(self, key: StorageKey, value: object) -> None:
+        start = time.perf_counter()
+        self.inner.put(key, value)
+        nbytes = _approx_size(value)
+        self.stats.puts += 1
+        self.stats.bytes_written += nbytes
+        if self.latency is not None:
+            cost = self.latency.put_cost(nbytes)
+            self.stats.simulated_seconds += cost
+            if self.latency.sleep:
+                time.sleep(cost)
+        self.stats.wall_seconds += time.perf_counter() - start
+
+    def delete(self, key: StorageKey) -> None:
+        self.inner.delete(key)
+
+    def keys(self) -> Iterator[StorageKey]:
+        return self.inner.keys()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def reset_stats(self) -> None:
+        """Zero the accumulated counters."""
+        self.stats.reset()

@@ -1,0 +1,108 @@
+"""Key-value store interface used by the DeltaGraph for persistent storage.
+
+The paper's prototype uses the Kyoto Cabinet disk-based key-value store, and
+stresses that only a simple get/put interface is required so that other
+backends (HBase, Cassandra, ...) can be plugged in.  This module defines that
+interface plus the key scheme ``(partition_id, delta_id, component)`` used to
+address columnar delta components (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Optional, Tuple
+
+from ..errors import KeyNotFoundError
+
+__all__ = ["StorageKey", "make_key", "KVStore"]
+
+#: String key used by the stores: "partition/delta_id/component".
+StorageKey = str
+
+
+def make_key(partition_id: int, delta_id: str, component: str) -> StorageKey:
+    """Build the storage key for one columnar component of a delta.
+
+    The same scheme addresses leaf-eventlist components (including the
+    ``transient`` component) — a leaf-eventlist is just a delta whose id
+    encodes the eventlist.
+    """
+    return f"{partition_id}/{delta_id}/{component}"
+
+
+def parse_key(key: StorageKey) -> Tuple[int, str, str]:
+    """Inverse of :func:`make_key`."""
+    partition, delta_id, component = key.split("/", 2)
+    return int(partition), delta_id, component
+
+
+class KVStore(ABC):
+    """Abstract persistent key-value store with a get/put/delete interface.
+
+    Values are arbitrary picklable Python objects; implementations decide on
+    the serialization and on-disk layout.  All DeltaGraph I/O goes through
+    this interface, which is what makes the index backend-agnostic.
+    """
+
+    @abstractmethod
+    def get(self, key: StorageKey) -> object:
+        """Return the value stored under ``key``.
+
+        Raises
+        ------
+        KeyNotFoundError
+            If the key is not present.
+        """
+
+    @abstractmethod
+    def put(self, key: StorageKey, value: object) -> None:
+        """Store ``value`` under ``key``, overwriting any previous value."""
+
+    @abstractmethod
+    def delete(self, key: StorageKey) -> None:
+        """Remove ``key`` if present (missing keys are ignored)."""
+
+    @abstractmethod
+    def keys(self) -> Iterator[StorageKey]:
+        """Iterate over all stored keys."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release any resources held by the store."""
+
+    # -- conveniences shared by all implementations -----------------------------
+
+    def contains(self, key: StorageKey) -> bool:
+        """Whether the key is present."""
+        try:
+            self.get(key)
+            return True
+        except KeyNotFoundError:
+            return False
+
+    def get_or_default(self, key: StorageKey, default: object = None) -> object:
+        """Return the stored value or ``default`` when the key is missing."""
+        try:
+            return self.get(key)
+        except KeyNotFoundError:
+            return default
+
+    def put_many(self, items: Iterable[Tuple[StorageKey, object]]) -> None:
+        """Store several key/value pairs."""
+        for key, value in items:
+            self.put(key, value)
+
+    def get_many(self, keys: Iterable[StorageKey]) -> Iterator[object]:
+        """Yield values for several keys (raising on the first missing one)."""
+        for key in keys:
+            yield self.get(key)
+
+    def size(self) -> int:
+        """Number of stored keys."""
+        return sum(1 for _ in self.keys())
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

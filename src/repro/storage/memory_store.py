@@ -1,0 +1,68 @@
+"""In-memory key-value store.
+
+Primarily used by unit tests, the GraphPool-backed construction path, and any
+scenario where persistence is not required.  Values can optionally be passed
+through a codec so that the measured "bytes stored" matches the disk store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..errors import KeyNotFoundError
+from .compression import Codec
+from .kvstore import KVStore, StorageKey
+
+__all__ = ["InMemoryKVStore"]
+
+
+class InMemoryKVStore(KVStore):
+    """Dictionary-backed :class:`~repro.storage.kvstore.KVStore`.
+
+    Parameters
+    ----------
+    codec:
+        Optional codec; when provided, values are encoded on ``put`` and
+        decoded on ``get`` so byte-size accounting matches a persistent
+        store.  When omitted, values are stored as live objects (fastest).
+    """
+
+    def __init__(self, codec: Optional[Codec] = None) -> None:
+        self._codec = codec
+        self._data: Dict[StorageKey, object] = {}
+
+    def get(self, key: StorageKey) -> object:
+        try:
+            value = self._data[key]
+        except KeyError:
+            raise KeyNotFoundError(key) from None
+        if self._codec is not None:
+            return self._codec.decode(value)
+        return value
+
+    def put(self, key: StorageKey, value: object) -> None:
+        if self._codec is not None:
+            value = self._codec.encode(value)
+        self._data[key] = value
+
+    def delete(self, key: StorageKey) -> None:
+        self._data.pop(key, None)
+
+    def keys(self) -> Iterator[StorageKey]:
+        return iter(list(self._data.keys()))
+
+    def close(self) -> None:
+        """No resources to release; kept for interface symmetry."""
+
+    def clear(self) -> None:
+        """Remove every stored key."""
+        self._data.clear()
+
+    def total_bytes(self) -> int:
+        """Total stored payload size in bytes (0 for un-encoded objects)."""
+        if self._codec is None:
+            return 0
+        return sum(len(v) for v in self._data.values())
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite.
+
+Small, deterministic workloads are generated once per session so individual
+tests stay fast; tests that need different shapes build their own traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import EventList
+from repro.core.snapshot import GraphSnapshot
+from repro.datasets.coauthorship import CoauthorshipConfig, generate_coauthorship_trace
+from repro.datasets.random_trace import (
+    RandomTraceConfig,
+    generate_random_trace,
+    generate_starting_snapshot,
+)
+
+
+@pytest.fixture(scope="session")
+def small_growing_trace() -> EventList:
+    """A small Dataset-1-like growing-only trace (~3000 events)."""
+    return generate_coauthorship_trace(CoauthorshipConfig(
+        total_events=3000, num_years=20, attrs_per_node=3, seed=7))
+
+
+@pytest.fixture(scope="session")
+def small_churn_trace() -> EventList:
+    """A small Dataset-2-like trace with additions and deletions."""
+    base, base_events = generate_starting_snapshot(80, 200, seed=5)
+    churn = generate_random_trace(base, RandomTraceConfig(
+        num_events=2500, add_fraction=0.5, attribute_event_fraction=0.1,
+        start_time=(base.time or 0) + 1, seed=13))
+    return EventList(list(base_events) + list(churn))
+
+
+def reference_snapshot(events: EventList, time: int) -> GraphSnapshot:
+    """Ground truth: replay every event with timestamp <= ``time``."""
+    snapshot = GraphSnapshot.empty(time=time)
+    for event in events:
+        if event.time <= time:
+            snapshot.apply_event(event)
+        else:
+            break
+    return snapshot
+
+
+@pytest.fixture(scope="session")
+def reference():
+    """Expose the reference replay helper to tests as a fixture."""
+    return reference_snapshot

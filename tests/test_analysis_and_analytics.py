@@ -1,0 +1,173 @@
+"""Tests for analysis algorithms, evolution helpers, and Section-5 models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.algorithms import (
+    connected_components,
+    count_triangles,
+    degree_distribution,
+    estimate_diameter,
+    pagerank,
+    top_k_by_score,
+)
+from repro.analysis.evolution import (
+    centrality_evolution,
+    density_series,
+    growth_series,
+    rank_evolution,
+)
+from repro.analytics import BalancedModel, GraphDynamicsModel, IntersectionModel
+from repro.core.deltagraph import DeltaGraph
+from repro.core.events import new_edge, new_node
+from repro.core.snapshot import GraphSnapshot
+
+
+def triangle_plus_tail() -> GraphSnapshot:
+    events = [new_node(1, i) for i in range(5)]
+    events += [new_edge(2, 0, 0, 1), new_edge(2, 1, 1, 2), new_edge(2, 2, 2, 0),
+               new_edge(2, 3, 2, 3), new_edge(2, 4, 3, 4)]
+    return GraphSnapshot.from_events(events)
+
+
+class TestAlgorithms:
+    def test_pagerank_normalizes_and_ranks_hub_highest(self):
+        graph = triangle_plus_tail()
+        scores = pagerank(graph, iterations=40)
+        assert sum(scores.values()) == pytest.approx(1.0, rel=0.02)
+        top_node, _ = top_k_by_score(scores, 1)[0]
+        assert top_node == 2  # node 2 touches the triangle and the tail
+
+    def test_pagerank_empty_graph(self):
+        assert pagerank(GraphSnapshot.empty()) == {}
+
+    def test_degree_distribution(self):
+        histogram = degree_distribution(triangle_plus_tail())
+        assert histogram[1] == 1        # node 4
+        assert histogram[2] == 3        # nodes 0, 1, 3
+        assert histogram[3] == 1        # node 2
+
+    def test_connected_components(self):
+        graph = triangle_plus_tail()
+        components = connected_components(graph)
+        assert len(components) == 1
+        graph.apply_event(new_node(9, 99))
+        assert len(connected_components(graph)) == 2
+
+    def test_count_triangles(self):
+        assert count_triangles(triangle_plus_tail()) == 1
+
+    def test_estimate_diameter(self):
+        assert estimate_diameter(triangle_plus_tail()) == 3
+
+    def test_top_k_ties_broken_deterministically(self):
+        scores = {"b": 1.0, "a": 1.0, "c": 0.5}
+        assert top_k_by_score(scores, 2) == [("a", 1.0), ("b", 1.0)]
+
+
+class TestEvolution:
+    def make_series(self, small_growing_trace):
+        index = DeltaGraph.build(small_growing_trace, leaf_eventlist_size=500,
+                                 arity=2)
+        end = small_growing_trace.end_time
+        start = small_growing_trace.start_time
+        times = [start + (end - start) * i // 4 for i in range(1, 5)]
+        return index.get_snapshots(times)
+
+    def test_growth_and_density_series_monotone_for_growing_graph(
+            self, small_growing_trace):
+        snapshots = self.make_series(small_growing_trace)
+        growth = growth_series(snapshots)
+        node_counts = [nodes for nodes, _edges in growth.values]
+        assert node_counts == sorted(node_counts)
+        density = density_series(snapshots)
+        assert all(value >= 0 for value in density.values)
+        assert growth.as_pairs()[0][0] == snapshots[0].time
+
+    def test_centrality_and_rank_evolution(self, small_growing_trace):
+        snapshots = self.make_series(small_growing_trace)
+        scores = centrality_evolution(snapshots, iterations=10)
+        assert len(scores.values) == len(snapshots)
+        ranks = rank_evolution(snapshots, track_top_k=5, iterations=10)
+        assert len(ranks) == 5
+        for node, series in ranks.items():
+            assert len(series) == len(snapshots)
+            assert series[-1] is not None and series[-1] <= 5 + 5
+
+
+class TestDynamicsModel:
+    def test_final_size_formula(self):
+        model = GraphDynamicsModel(initial_size=1000, num_events=10000,
+                                   insert_fraction=0.6, delete_fraction=0.3)
+        assert model.final_size() == 1000 + 10000 * 0.3
+        assert model.churn_fraction == pytest.approx(0.9)
+        assert not model.is_growing_only
+
+    def test_from_trace_estimates_fractions(self, small_growing_trace):
+        model = GraphDynamicsModel.from_trace(small_growing_trace)
+        assert model.delete_fraction == 0.0
+        assert 0.1 < model.insert_fraction <= 1.0
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            GraphDynamicsModel(0, 10, 0.8, 0.5)
+
+
+class TestBalancedModel:
+    def make_model(self):
+        dynamics = GraphDynamicsModel(initial_size=0, num_events=16000,
+                                      insert_fraction=0.7, delete_fraction=0.3)
+        return BalancedModel(dynamics, leaf_eventlist_size=1000, arity=2)
+
+    def test_space_per_level_independent_of_level(self):
+        model = self.make_model()
+        # delta size doubles per level while edge count halves
+        assert model.delta_size_at_level(3) == 2 * model.delta_size_at_level(2)
+        assert model.space_per_level() == pytest.approx(
+            0.5 * 1 * 1.0 * 16000)
+
+    def test_query_fetch_independent_of_leaf(self):
+        model = self.make_model()
+        assert model.query_fetch_size() == pytest.approx(0.5 * 1.0 * 16000)
+
+    def test_root_size_independent_of_arity(self):
+        dynamics = GraphDynamicsModel(5000, 10000, 0.6, 0.2)
+        k2 = BalancedModel(dynamics, 1000, 2)
+        k8 = BalancedModel(dynamics, 1000, 8)
+        assert k2.root_size() == k8.root_size() == 5000 + 0.5 * 0.4 * 10000
+
+    def test_total_space_grows_with_levels(self):
+        model = self.make_model()
+        shallower = BalancedModel(model.dynamics, 4000, 2)
+        assert model.total_delta_space() > shallower.total_delta_space()
+
+
+class TestIntersectionModel:
+    def test_growing_only_root_is_initial_graph(self):
+        dynamics = GraphDynamicsModel(1234, 50000, 0.9, 0.0)
+        model = IntersectionModel(dynamics, 1000, 2)
+        assert model.root_size() == 1234
+
+    def test_constant_size_root_decays_exponentially(self):
+        dynamics = GraphDynamicsModel(10000, 50000, 0.4, 0.4)
+        model = IntersectionModel(dynamics, 1000, 2)
+        expected = 10000 * math.exp(-50000 * 0.4 / 10000)
+        assert model.root_size() == pytest.approx(expected)
+
+    def test_double_rate_root_formula(self):
+        dynamics = GraphDynamicsModel(10000, 50000, 0.4, 0.2)
+        model = IntersectionModel(dynamics, 1000, 2)
+        assert model.root_size() == pytest.approx(10000 ** 2 / (10000 + 0.2 * 50000))
+
+    def test_query_fetch_grows_with_leaf_index_for_growing_graph(self):
+        dynamics = GraphDynamicsModel(0, 20000, 1.0, 0.0)
+        model = IntersectionModel(dynamics, 1000, 2)
+        assert model.query_fetch_size(2) < model.query_fetch_size(10)
+
+    def test_space_bounds_ordering(self):
+        dynamics = GraphDynamicsModel(0, 20000, 0.5, 0.5)
+        lower, upper = IntersectionModel(dynamics, 1000, 2).total_delta_space_bounds()
+        assert lower <= upper

@@ -1,0 +1,122 @@
+"""Tests for the baseline snapshot stores (interval tree, Copy+Log, Log)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.copy_log import CopyLogStore
+from repro.baselines.interval_tree import (
+    IntervalTreeSnapshotStore,
+    build_intervals_from_events,
+)
+from repro.baselines.log_store import LogStore
+from repro.core.deltagraph import DeltaGraph
+from repro.core.events import EventList, delete_edge, new_edge, new_node, update_node_attr
+from repro.errors import TimeOutOfRangeError
+
+
+def sample_times(events, count=6):
+    start, end = events.start_time, events.end_time
+    step = max((end - start) // (count + 1), 1)
+    return [start + step * (i + 1) for i in range(count)]
+
+
+class TestIntervalConstruction:
+    def test_intervals_from_add_delete(self):
+        events = EventList([
+            new_node(1, 0),
+            new_edge(2, 0, 0, 0),
+            delete_edge(5, 0, 0, 0),
+        ])
+        intervals = build_intervals_from_events(events)
+        by_key = {i.key: i for i in intervals}
+        assert by_key[("N", 0)].end == float("inf")
+        assert by_key[("E", 0)].start == 2
+        assert by_key[("E", 0)].end == 5
+
+    def test_attribute_change_closes_previous_value(self):
+        events = EventList([
+            new_node(1, 0),
+            update_node_attr(2, 0, "job", None, "phd"),
+            update_node_attr(7, 0, "job", "phd", "prof"),
+        ])
+        intervals = build_intervals_from_events(events)
+        values = {(i.key, i.value): (i.start, i.end) for i in intervals
+                  if i.key == ("NA", 0, "job")}
+        assert values[(("NA", 0, "job"), "phd")] == (2, 7)
+        assert values[(("NA", 0, "job"), "prof")][0] == 7
+
+    def test_transient_events_ignored(self):
+        from repro.core.events import transient_edge
+        events = EventList([new_node(1, 0), transient_edge(2, 5, 0, 0)])
+        intervals = build_intervals_from_events(events)
+        assert all(i.key[0] != "E" for i in intervals)
+
+
+class TestBaselineCorrectness:
+    """All three baselines must agree with the reference replay."""
+
+    def test_interval_tree_matches_reference(self, small_churn_trace, reference):
+        store = IntervalTreeSnapshotStore(small_churn_trace)
+        for t in sample_times(small_churn_trace):
+            expected = reference(small_churn_trace, t)
+            assert store.get_snapshot(t).elements == expected.elements
+
+    def test_copy_log_matches_reference(self, small_churn_trace, reference):
+        store = CopyLogStore(small_churn_trace, snapshot_interval=300)
+        for t in sample_times(small_churn_trace):
+            expected = reference(small_churn_trace, t)
+            assert store.get_snapshot(t).elements == expected.elements
+
+    def test_log_store_matches_reference(self, small_churn_trace, reference):
+        store = LogStore(small_churn_trace, chunk_size=500)
+        for t in sample_times(small_churn_trace):
+            expected = reference(small_churn_trace, t)
+            assert store.get_snapshot(t).elements == expected.elements
+
+    def test_baselines_agree_with_deltagraph(self, small_growing_trace):
+        index = DeltaGraph.build(small_growing_trace, leaf_eventlist_size=400,
+                                 arity=2)
+        interval_tree = IntervalTreeSnapshotStore(small_growing_trace)
+        copy_log = CopyLogStore(small_growing_trace, snapshot_interval=400)
+        for t in sample_times(small_growing_trace, count=4):
+            a = index.get_snapshot(t).elements
+            assert interval_tree.get_snapshot(t).elements == a
+            assert copy_log.get_snapshot(t).elements == a
+
+    def test_multi_snapshot_interfaces(self, small_churn_trace):
+        times = sample_times(small_churn_trace, count=3)
+        for store in (IntervalTreeSnapshotStore(small_churn_trace),
+                      CopyLogStore(small_churn_trace, snapshot_interval=500),
+                      LogStore(small_churn_trace)):
+            snapshots = store.get_snapshots(times)
+            assert len(snapshots) == 3
+
+
+class TestBaselineProperties:
+    def test_copy_log_time_before_history(self, small_churn_trace):
+        store = CopyLogStore(small_churn_trace, snapshot_interval=500)
+        with pytest.raises(TimeOutOfRangeError):
+            store.get_snapshot(small_churn_trace.start_time - 100)
+
+    def test_copy_log_checkpoint_count(self, small_churn_trace):
+        store = CopyLogStore(small_churn_trace, snapshot_interval=500)
+        expected = len(small_churn_trace) // 500 + (
+            1 if len(small_churn_trace) % 500 else 0) + 1
+        assert store.num_checkpoints() == expected
+        with pytest.raises(ValueError):
+            CopyLogStore(small_churn_trace, snapshot_interval=0)
+
+    def test_interval_tree_memory_reporting(self, small_churn_trace):
+        store = IntervalTreeSnapshotStore(small_churn_trace)
+        assert store.memory_entries() > 0
+        assert store.estimated_memory_bytes() > store.memory_entries()
+
+    def test_log_store_is_smallest_on_disk(self, small_churn_trace):
+        from repro.storage.compression import PickleCodec
+        from repro.storage.memory_store import InMemoryKVStore
+        log = LogStore(small_churn_trace,
+                       store=InMemoryKVStore(codec=PickleCodec()))
+        copy_log = CopyLogStore(small_churn_trace, snapshot_interval=300,
+                                store=InMemoryKVStore(codec=PickleCodec()))
+        assert log.storage_bytes() < copy_log.storage_bytes()

@@ -1,0 +1,155 @@
+"""Unit tests for deltas and differential functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.delta import Delta, DeltaStats
+from repro.core.differential import (
+    BalancedFunction,
+    EmptyFunction,
+    IntersectionFunction,
+    LeftSkewedFunction,
+    MixedFunction,
+    RightSkewedFunction,
+    SkewedFunction,
+    UnionFunction,
+    get_differential_function,
+)
+from repro.core.events import new_edge, new_node, update_node_attr
+from repro.core.snapshot import COMPONENT_NODEATTR, COMPONENT_STRUCT, GraphSnapshot
+from repro.errors import ConfigurationError
+
+
+def snapshot_a() -> GraphSnapshot:
+    return GraphSnapshot.from_events([
+        new_node(1, 0, {"name": "a"}),
+        new_node(1, 1),
+        new_edge(2, 0, 0, 1),
+    ])
+
+
+def snapshot_b() -> GraphSnapshot:
+    return GraphSnapshot.from_events([
+        new_node(1, 0, {"name": "a2"}),     # changed attribute value
+        new_node(1, 2),                      # node 1 removed, node 2 added
+        new_edge(2, 1, 0, 2),                # edge 0 removed, edge 1 added
+    ])
+
+
+class TestDelta:
+    def test_between_and_apply(self):
+        a, b = snapshot_a(), snapshot_b()
+        delta = Delta.between(a, b)
+        reconstructed = delta.apply_to_copy(a)
+        assert reconstructed == b
+
+    def test_invert_roundtrip(self):
+        a, b = snapshot_a(), snapshot_b()
+        delta = Delta.between(a, b)
+        back = delta.invert().apply_to_copy(b)
+        assert back == a
+
+    def test_empty_delta(self):
+        a = snapshot_a()
+        delta = Delta.between(a, a)
+        assert not delta
+        assert len(delta) == 0
+        assert delta.apply_to_copy(a) == a
+
+    def test_split_and_merge_components(self):
+        delta = Delta.between(snapshot_a(), snapshot_b())
+        parts = delta.split_components()
+        assert set(parts) == {"struct", "nodeattr", "edgeattr"}
+        merged = Delta.merge_components(parts.values())
+        assert merged == delta
+
+    def test_component_sizes(self):
+        delta = Delta.between(snapshot_a(), snapshot_b())
+        sizes = delta.component_sizes()
+        # node 2 added, node 1 removed, edge 1 added, edge 0 removed
+        assert sizes[COMPONENT_STRUCT] == 4
+        # the "name" attribute of node 0 changed value
+        assert sizes[COMPONENT_NODEATTR] == 1
+
+    def test_stats_weight_selection(self):
+        delta = Delta.between(snapshot_a(), snapshot_b())
+        stats = delta.stats()
+        assert stats.weight() == len(delta)
+        assert stats.weight([COMPONENT_STRUCT]) == 4
+        assert DeltaStats.zero().weight() == 0
+
+    def test_estimated_bytes_positive(self):
+        delta = Delta.between(snapshot_a(), snapshot_b())
+        assert delta.estimated_bytes() > 0
+
+
+class TestDifferentialFunctions:
+    def test_intersection_keeps_common_elements(self):
+        parent = IntersectionFunction()([snapshot_a(), snapshot_b()])
+        assert parent.has_node(0)
+        assert not parent.has_node(1)
+        assert not parent.has_node(2)
+        # the changed attribute value is not common
+        assert parent.get_node_attr(0, "name") is None
+
+    def test_union_contains_everything(self):
+        parent = UnionFunction()([snapshot_a(), snapshot_b()])
+        assert parent.has_node(1) and parent.has_node(2)
+        assert parent.has_edge(0) and parent.has_edge(1)
+        # newer value wins on conflict
+        assert parent.get_node_attr(0, "name") == "a2"
+
+    def test_empty_function(self):
+        parent = EmptyFunction()([snapshot_a(), snapshot_b()])
+        assert len(parent) == 0
+
+    def test_skewed_extremes(self):
+        a, b = snapshot_a(), snapshot_b()
+        assert SkewedFunction(r=0.0)([a, b]).elements == a.elements
+        full = SkewedFunction(r=1.0)([a, b])
+        for key in b.elements:
+            assert key in full.elements
+
+    def test_mixed_extremes_match_children(self):
+        a, b = snapshot_a(), snapshot_b()
+        assert MixedFunction(r1=0.0, r2=0.0)([a, b]).elements == a.elements
+        assert MixedFunction(r1=1.0, r2=1.0)([a, b]).elements == b.elements
+
+    def test_balanced_is_mixed_half(self):
+        a, b = snapshot_a(), snapshot_b()
+        assert BalancedFunction()([a, b]).elements == \
+            MixedFunction(0.5, 0.5)([a, b]).elements
+
+    def test_mixed_rejects_r2_greater_than_r1(self):
+        with pytest.raises(ConfigurationError):
+            MixedFunction(r1=0.2, r2=0.8)
+
+    def test_skew_parameter_validation(self):
+        for cls in (SkewedFunction, RightSkewedFunction, LeftSkewedFunction):
+            with pytest.raises(ConfigurationError):
+                cls(r=1.5)
+
+    def test_left_right_skew_contain_intersection(self):
+        a, b = snapshot_a(), snapshot_b()
+        intersection = IntersectionFunction()([a, b]).elements
+        for cls in (RightSkewedFunction, LeftSkewedFunction):
+            result = cls(r=0.3)([a, b]).elements
+            for key in intersection:
+                assert key in result
+
+    def test_registry_lookup(self):
+        assert get_differential_function("intersection").name == "intersection"
+        assert get_differential_function("mixed", r1=0.9, r2=0.9).r1 == 0.9
+        with pytest.raises(ConfigurationError):
+            get_differential_function("nope")
+
+    def test_requires_at_least_one_child(self):
+        with pytest.raises(ConfigurationError):
+            IntersectionFunction()([])
+
+    def test_deterministic_selection(self):
+        a, b = snapshot_a(), snapshot_b()
+        first = BalancedFunction()([a, b]).elements
+        second = BalancedFunction()([a, b]).elements
+        assert first == second

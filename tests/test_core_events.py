@@ -1,0 +1,139 @@
+"""Unit tests for the event model (repro.core.events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import (
+    Event,
+    EventList,
+    EventType,
+    delete_edge,
+    delete_node,
+    new_edge,
+    new_node,
+    transient_edge,
+    update_edge_attr,
+    update_node_attr,
+)
+from repro.errors import EventError
+
+
+class TestEventConstructors:
+    def test_new_node_carries_attributes(self):
+        event = new_node(5, 1, {"name": "ada"})
+        assert event.type == EventType.NODE_ADD
+        assert event.time == 5
+        assert event.attributes_dict() == {"name": "ada"}
+
+    def test_new_edge_records_endpoints(self):
+        event = new_edge(9, 3, 1, 2, directed=True)
+        assert event.type == EventType.EDGE_ADD
+        assert (event.src, event.dst, event.directed) == (1, 2, True)
+
+    def test_update_node_attr_keeps_old_and_new(self):
+        event = update_node_attr(7, 1, "job", "student", "professor")
+        assert event.old_value == "student"
+        assert event.new_value == "professor"
+
+    def test_transient_edge_flagged_transient(self):
+        event = transient_edge(3, 99, 1, 2)
+        assert event.type.is_transient
+        assert not event.type.is_structural
+
+    def test_structural_and_attribute_classification(self):
+        assert new_node(1, 1).type.is_structural
+        assert delete_edge(1, 1, 1, 2).type.is_structural
+        assert update_edge_attr(1, 1, "w", 1, 2).type.is_attribute
+        assert not update_node_attr(1, 1, "a", None, 1).type.is_structural
+
+    def test_involved_nodes_for_edge_event(self):
+        assert new_edge(1, 5, 10, 20).involved_nodes() == (10, 20)
+        assert new_node(1, 7).involved_nodes() == (7,)
+
+    def test_primary_node_requires_payload(self):
+        bad = Event(EventType.EDGE_ADD, 1, edge_id=1)
+        with pytest.raises(EventError):
+            bad.primary_node()
+
+    def test_validate_rejects_missing_fields(self):
+        with pytest.raises(EventError):
+            Event(EventType.NODE_ADD, 1).validate()
+        with pytest.raises(EventError):
+            Event(EventType.EDGE_ADD, 1, edge_id=1).validate()
+        with pytest.raises(EventError):
+            Event(EventType.NODE_ATTR, 1, node_id=1).validate()
+        # A complete event validates without raising.
+        new_edge(1, 1, 2, 3).validate()
+
+
+class TestEventList:
+    def make_list(self):
+        return EventList([
+            new_node(1, 0),
+            new_node(2, 1),
+            new_edge(3, 0, 0, 1),
+            new_edge(5, 1, 1, 0),
+            delete_edge(8, 0, 0, 1),
+        ])
+
+    def test_len_and_iteration(self):
+        events = self.make_list()
+        assert len(events) == 5
+        assert [e.time for e in events] == [1, 2, 3, 5, 8]
+
+    def test_start_and_end_time(self):
+        events = self.make_list()
+        assert events.start_time == 1
+        assert events.end_time == 8
+
+    def test_empty_list_time_raises(self):
+        with pytest.raises(EventError):
+            _ = EventList().start_time
+        with pytest.raises(EventError):
+            _ = EventList().end_time
+
+    def test_unsorted_input_is_sorted(self):
+        events = EventList([new_node(5, 0), new_node(1, 1), new_node(3, 2)])
+        assert [e.time for e in events] == [1, 3, 5]
+
+    def test_append_enforces_chronological_order(self):
+        events = self.make_list()
+        with pytest.raises(EventError):
+            events.append(new_node(0, 99))
+        events.append(new_node(8, 99))  # equal timestamps are allowed
+        assert len(events) == 6
+
+    def test_slicing_returns_eventlist(self):
+        events = self.make_list()
+        head = events[:2]
+        assert isinstance(head, EventList)
+        assert len(head) == 2
+
+    def test_events_upto_and_after(self):
+        events = self.make_list()
+        assert len(events.events_upto(3)) == 3
+        assert len(events.events_after(3)) == 2
+        assert len(events.events_between(2, 6)) == 3
+
+    def test_count_upto(self):
+        events = self.make_list()
+        assert events.count_upto(0) == 0
+        assert events.count_upto(5) == 4
+        assert events.count_upto(100) == 5
+
+    def test_split_into_chunks(self):
+        events = self.make_list()
+        chunks = events.split_into_chunks(2)
+        assert [len(c) for c in chunks] == [2, 2, 1]
+        with pytest.raises(EventError):
+            events.split_into_chunks(0)
+
+    def test_filter_and_transient_split(self):
+        events = EventList([new_node(1, 0), transient_edge(2, 1, 0, 0)])
+        assert len(events.transient_events()) == 1
+        assert len(events.persistent_events()) == 1
+
+    def test_equality(self):
+        assert self.make_list() == self.make_list()
+        assert EventList() != self.make_list()

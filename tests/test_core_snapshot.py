@@ -1,0 +1,151 @@
+"""Unit tests for the snapshot / element-store representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import (
+    delete_edge,
+    delete_node,
+    new_edge,
+    new_node,
+    transient_edge,
+    update_edge_attr,
+    update_node_attr,
+)
+from repro.core.snapshot import (
+    COMPONENT_EDGEATTR,
+    COMPONENT_NODEATTR,
+    COMPONENT_STRUCT,
+    GraphSnapshot,
+    element_component,
+)
+
+
+def build_sample() -> GraphSnapshot:
+    snapshot = GraphSnapshot.empty()
+    snapshot.apply_events([
+        new_node(1, 0, {"name": "a"}),
+        new_node(1, 1, {"name": "b"}),
+        new_node(2, 2),
+        new_edge(3, 0, 0, 1, directed=False, attributes={"w": 2}),
+        new_edge(4, 1, 1, 2, directed=True),
+        update_node_attr(5, 2, "name", None, "c"),
+    ])
+    return snapshot
+
+
+class TestStructureAccessors:
+    def test_counts(self):
+        snapshot = build_sample()
+        assert snapshot.num_nodes() == 3
+        assert snapshot.num_edges() == 2
+
+    def test_node_and_edge_presence(self):
+        snapshot = build_sample()
+        assert snapshot.has_node(0) and snapshot.has_node(2)
+        assert not snapshot.has_node(99)
+        assert snapshot.has_edge(1)
+        assert snapshot.edge_def(1) == (1, 2, True)
+
+    def test_attributes(self):
+        snapshot = build_sample()
+        assert snapshot.get_node_attr(0, "name") == "a"
+        assert snapshot.get_node_attr(2, "name") == "c"
+        assert snapshot.get_edge_attr(0, "w") == 2
+        assert snapshot.get_edge_attr(0, "missing", default=-1) == -1
+        assert snapshot.node_attributes(1) == {"name": "b"}
+
+    def test_adjacency_undirected_and_directed(self):
+        snapshot = build_sample()
+        assert snapshot.neighbors(0) == {1}
+        assert snapshot.neighbors(1) == {0, 2}   # undirected 0-1, directed 1->2
+        assert snapshot.neighbors(2) == set()
+        assert snapshot.degree(1) == 2
+
+    def test_adjacency_cache_invalidation_on_event(self):
+        snapshot = build_sample()
+        assert snapshot.neighbors(2) == set()
+        snapshot.apply_event(new_edge(9, 7, 2, 0, directed=True))
+        assert snapshot.neighbors(2) == {0}
+
+
+class TestEventApplication:
+    def test_forward_backward_roundtrip(self):
+        snapshot = build_sample()
+        before = dict(snapshot.elements)
+        events = [
+            new_node(10, 5, {"name": "e"}),
+            new_edge(11, 9, 5, 0),
+            update_node_attr(12, 0, "name", "a", "a2"),
+            delete_edge(13, 0, 0, 1, attributes={"w": 2}),
+            delete_node(14, 1, {"name": "b"}),
+            update_edge_attr(15, 9, "w", None, 7),
+        ]
+        snapshot.apply_events(events, forward=True)
+        assert snapshot.has_node(5)
+        assert not snapshot.has_edge(0)
+        snapshot.apply_events(events, forward=False)
+        assert snapshot.elements == before
+
+    def test_attribute_update_directions(self):
+        snapshot = GraphSnapshot.empty()
+        snapshot.apply_event(new_node(1, 0))
+        set_attr = update_node_attr(2, 0, "job", None, "phd")
+        change = update_node_attr(3, 0, "job", "phd", "prof")
+        snapshot.apply_event(set_attr)
+        snapshot.apply_event(change)
+        assert snapshot.get_node_attr(0, "job") == "prof"
+        snapshot.apply_event(change, forward=False)
+        assert snapshot.get_node_attr(0, "job") == "phd"
+        snapshot.apply_event(set_attr, forward=False)
+        assert snapshot.get_node_attr(0, "job") is None
+
+    def test_transient_events_do_not_change_snapshot(self):
+        snapshot = build_sample()
+        before = dict(snapshot.elements)
+        snapshot.apply_event(transient_edge(20, 999, 0, 1))
+        assert snapshot.elements == before
+
+    def test_from_events_constructor(self):
+        snapshot = GraphSnapshot.from_events([new_node(1, 0), new_node(2, 1)],
+                                             time=2)
+        assert snapshot.num_nodes() == 2
+        assert snapshot.time == 2
+
+
+class TestElementAlgebra:
+    def test_component_classification(self):
+        assert element_component(("N", 1)) == COMPONENT_STRUCT
+        assert element_component(("E", 1)) == COMPONENT_STRUCT
+        assert element_component(("NA", 1, "x")) == COMPONENT_NODEATTR
+        assert element_component(("EA", 1, "x")) == COMPONENT_EDGEATTR
+
+    def test_component_sizes_and_filtered(self):
+        snapshot = build_sample()
+        sizes = snapshot.component_sizes()
+        assert sizes[COMPONENT_STRUCT] == 5          # 3 nodes + 2 edges
+        assert sizes[COMPONENT_NODEATTR] == 3
+        assert sizes[COMPONENT_EDGEATTR] == 1
+        structure_only = snapshot.filtered([COMPONENT_STRUCT])
+        assert structure_only.num_nodes() == 3
+        assert structure_only.node_attributes(0) == {}
+
+    def test_copy_is_independent(self):
+        snapshot = build_sample()
+        clone = snapshot.copy(time=123)
+        clone.apply_event(new_node(50, 77))
+        assert not snapshot.has_node(77)
+        assert clone.time == 123
+
+    def test_add_remove_elements(self):
+        snapshot = GraphSnapshot.empty()
+        snapshot.add_elements([(("N", 1), 1), (("N", 2), 1)])
+        assert snapshot.num_nodes() == 2
+        snapshot.remove_elements([("N", 1), ("N", 99)])
+        assert snapshot.node_ids() == [2]
+
+    def test_equality_and_len(self):
+        assert GraphSnapshot.empty() == GraphSnapshot.empty()
+        snapshot = build_sample()
+        assert len(snapshot) == len(snapshot.elements)

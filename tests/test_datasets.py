@@ -1,0 +1,153 @@
+"""Tests for the workload generators and trace persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import EventType
+from repro.core.snapshot import GraphSnapshot
+from repro.datasets.coauthorship import CoauthorshipConfig, generate_coauthorship_trace
+from repro.datasets.loaders import read_events_jsonl, write_events_jsonl
+from repro.datasets.random_trace import (
+    RandomTraceConfig,
+    generate_citation_style_dataset,
+    generate_random_trace,
+    generate_starting_snapshot,
+)
+
+
+class TestCoauthorshipGenerator:
+    def test_growing_only_and_chronological(self):
+        trace = generate_coauthorship_trace(CoauthorshipConfig(
+            total_events=2000, num_years=10, attrs_per_node=2, seed=1))
+        assert all(e.type in (EventType.NODE_ADD, EventType.EDGE_ADD,
+                              EventType.NODE_ATTR) for e in trace)
+        times = [e.time for e in trace]
+        assert times == sorted(times)
+
+    def test_replays_to_consistent_graph(self):
+        trace = generate_coauthorship_trace(CoauthorshipConfig(
+            total_events=2000, num_years=10, attrs_per_node=2, seed=1))
+        snapshot = GraphSnapshot.from_events(trace)
+        node_ids = set(snapshot.node_ids())
+        for _eid, src, dst, _directed in snapshot.edges():
+            assert src in node_ids and dst in node_ids
+
+    def test_attrs_per_node_respected(self):
+        trace = generate_coauthorship_trace(CoauthorshipConfig(
+            total_events=1500, num_years=5, attrs_per_node=4, seed=2))
+        snapshot = GraphSnapshot.from_events(trace)
+        some_node = snapshot.node_ids()[0]
+        assert len(snapshot.node_attributes(some_node)) == 4
+
+    def test_deterministic_with_seed(self):
+        config = CoauthorshipConfig(total_events=800, num_years=5, seed=9)
+        assert list(generate_coauthorship_trace(config)) == \
+            list(generate_coauthorship_trace(config))
+
+    def test_event_density_grows_over_years(self):
+        trace = generate_coauthorship_trace(CoauthorshipConfig(
+            total_events=6000, num_years=30, growth_per_year=1.08, seed=3))
+        years = [e.time // 10000 for e in trace]
+        first_decade = sum(1 for y in years if y < years[0] + 10)
+        last_decade = sum(1 for y in years if y >= years[-1] - 9)
+        assert last_decade > first_decade
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            generate_coauthorship_trace(CoauthorshipConfig(total_events=5))
+        with pytest.raises(ValueError):
+            generate_coauthorship_trace(CoauthorshipConfig(
+                new_author_probability=1.5))
+
+
+class TestRandomTraceGenerator:
+    def test_starting_snapshot_shape(self):
+        snapshot, events = generate_starting_snapshot(50, 120, seed=4)
+        assert snapshot.num_nodes() == 50
+        assert snapshot.num_edges() == 120
+        assert GraphSnapshot.from_events(events).elements == snapshot.elements
+
+    def test_trace_is_consistent_with_base(self):
+        base, _ = generate_starting_snapshot(40, 100, seed=5)
+        trace = generate_random_trace(base, RandomTraceConfig(
+            num_events=1500, add_fraction=0.5, start_time=1000, seed=6))
+        # replaying on the base never deletes a non-existent edge
+        working = base.copy()
+        for event in trace:
+            if event.type == EventType.EDGE_DELETE:
+                assert working.has_edge(event.edge_id)
+            working.apply_event(event)
+        assert len(trace) == 1500
+
+    def test_add_delete_balance(self):
+        base, _ = generate_starting_snapshot(40, 100, seed=5)
+        trace = generate_random_trace(base, RandomTraceConfig(
+            num_events=2000, add_fraction=0.5, start_time=1000, seed=7))
+        adds = sum(1 for e in trace if e.type == EventType.EDGE_ADD)
+        deletes = sum(1 for e in trace if e.type == EventType.EDGE_DELETE)
+        assert abs(adds - deletes) < 0.2 * len(trace)
+
+    def test_attribute_and_transient_mix(self):
+        base, _ = generate_starting_snapshot(30, 60, seed=8)
+        trace = generate_random_trace(base, RandomTraceConfig(
+            num_events=1500, attribute_event_fraction=0.2,
+            transient_event_fraction=0.1, start_time=10, seed=9))
+        kinds = {e.type for e in trace}
+        assert EventType.NODE_ATTR in kinds
+        assert EventType.TRANSIENT_EDGE in kinds
+
+    def test_attribute_updates_carry_true_old_values(self):
+        base, _ = generate_starting_snapshot(10, 20, seed=10)
+        trace = generate_random_trace(base, RandomTraceConfig(
+            num_events=2000, attribute_event_fraction=0.5, start_time=10,
+            seed=11))
+        current = {}
+        for event in trace:
+            if event.type == EventType.NODE_ATTR:
+                assert event.old_value == current.get((event.node_id, event.attr))
+                current[(event.node_id, event.attr)] = event.new_value
+
+    def test_citation_style_dataset_scales(self):
+        base_events, churn = generate_citation_style_dataset(
+            num_nodes=100, num_start_edges=200, num_events=500, seed=12)
+        assert len(churn) == 500
+        snapshot = GraphSnapshot.from_events(base_events)
+        assert snapshot.num_nodes() == 100
+
+    def test_base_snapshot_not_mutated(self):
+        base, _ = generate_starting_snapshot(20, 40, seed=13)
+        before = dict(base.elements)
+        generate_random_trace(base, RandomTraceConfig(num_events=500,
+                                                      start_time=5, seed=14))
+        assert base.elements == before
+
+    def test_config_validation(self):
+        base, _ = generate_starting_snapshot(10, 10, seed=15)
+        with pytest.raises(ValueError):
+            generate_random_trace(base, RandomTraceConfig(num_events=0))
+        with pytest.raises(ValueError):
+            generate_random_trace(GraphSnapshot.empty(), RandomTraceConfig())
+
+
+class TestLoaders:
+    def test_jsonl_roundtrip(self, tmp_path, small_churn_trace):
+        path = str(tmp_path / "trace.jsonl")
+        written = write_events_jsonl(small_churn_trace, path)
+        assert written == len(small_churn_trace)
+        loaded = read_events_jsonl(path)
+        assert len(loaded) == len(small_churn_trace)
+        assert GraphSnapshot.from_events(loaded).elements == \
+            GraphSnapshot.from_events(small_churn_trace).elements
+
+    def test_jsonl_preserves_event_payloads(self, tmp_path):
+        from repro.core.events import new_edge, new_node, update_node_attr
+        events = [new_node(1, 0, {"name": "ada"}),
+                  new_edge(2, 0, 0, 0, directed=True, attributes={"w": 3}),
+                  update_node_attr(3, 0, "name", "ada", "lovelace")]
+        path = str(tmp_path / "payload.jsonl")
+        write_events_jsonl(events, path)
+        loaded = list(read_events_jsonl(path))
+        assert loaded[0].attributes_dict() == {"name": "ada"}
+        assert loaded[1].directed is True
+        assert loaded[2].old_value == "ada" and loaded[2].new_value == "lovelace"

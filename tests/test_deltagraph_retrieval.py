@@ -1,0 +1,240 @@
+"""Integration tests: DeltaGraph construction and snapshot retrieval.
+
+The key correctness property: for any indexed trace and any timepoint, the
+snapshot retrieved through the DeltaGraph equals the snapshot obtained by
+naively replaying every event with timestamp <= t.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deltagraph import DeltaGraph
+from repro.core.skeleton import EdgeKind
+from repro.core.snapshot import COMPONENT_NODEATTR, COMPONENT_STRUCT
+from repro.storage.instrumented import InstrumentedKVStore
+from repro.storage.memory_store import InMemoryKVStore
+
+
+def sample_times(events, count=8):
+    start, end = events.start_time, events.end_time
+    step = max((end - start) // (count + 1), 1)
+    return [start + step * (i + 1) for i in range(count)]
+
+
+@pytest.fixture(scope="module", params=["intersection", "balanced"])
+def growing_index(request, small_growing_trace):
+    return DeltaGraph.build(small_growing_trace, leaf_eventlist_size=300,
+                            arity=3,
+                            differential_functions=(request.param,))
+
+
+@pytest.fixture(scope="module")
+def churn_index(small_churn_trace):
+    return DeltaGraph.build(small_churn_trace, leaf_eventlist_size=250,
+                            arity=2, differential_functions=("balanced",))
+
+
+class TestSinglepointCorrectness:
+    def test_growing_trace_matches_reference(self, growing_index,
+                                             small_growing_trace, reference):
+        for t in sample_times(small_growing_trace):
+            expected = reference(small_growing_trace, t)
+            got = growing_index.get_snapshot(t)
+            assert got.elements == expected.elements, f"mismatch at t={t}"
+
+    def test_churn_trace_matches_reference(self, churn_index,
+                                           small_churn_trace, reference):
+        for t in sample_times(small_churn_trace):
+            expected = reference(small_churn_trace, t)
+            got = churn_index.get_snapshot(t)
+            assert got.elements == expected.elements, f"mismatch at t={t}"
+
+    def test_snapshot_at_exact_leaf_time(self, churn_index, small_churn_trace,
+                                         reference):
+        leaf_time = churn_index.skeleton.leaves()[2].time
+        expected = reference(small_churn_trace, leaf_time)
+        assert churn_index.get_snapshot(leaf_time).elements == expected.elements
+
+    def test_snapshot_at_end_of_history(self, churn_index, small_churn_trace,
+                                        reference):
+        t = small_churn_trace.end_time
+        expected = reference(small_churn_trace, t)
+        assert churn_index.get_snapshot(t).elements == expected.elements
+
+    def test_time_before_history_raises(self, churn_index, small_churn_trace):
+        from repro.errors import TimeOutOfRangeError
+        with pytest.raises(TimeOutOfRangeError):
+            churn_index.get_snapshot(small_churn_trace.start_time - 1000)
+
+
+class TestMultipointCorrectness:
+    def test_multipoint_matches_singlepoint(self, churn_index,
+                                            small_churn_trace):
+        times = sample_times(small_churn_trace, count=5)
+        multi = churn_index.get_snapshots(times)
+        for t, snapshot in zip(times, multi):
+            single = churn_index.get_snapshot(t)
+            assert snapshot.elements == single.elements
+
+    def test_multipoint_reads_fewer_bytes_than_singlepoints(self,
+                                                            small_churn_trace):
+        store = InstrumentedKVStore(InMemoryKVStore())
+        index = DeltaGraph.build(small_churn_trace, store=store,
+                                 leaf_eventlist_size=250, arity=2,
+                                 differential_functions=("balanced",))
+        times = sample_times(small_churn_trace, count=4)
+        store.reset_stats()
+        index.get_snapshots(times)
+        multi_reads = store.stats.gets
+        store.reset_stats()
+        for t in times:
+            index.get_snapshot(t)
+        single_reads = store.stats.gets
+        assert multi_reads <= single_reads
+
+    def test_empty_times_list(self, churn_index):
+        assert churn_index.get_snapshots([]) == []
+
+
+class TestColumnarRetrieval:
+    def test_structure_only_omits_attributes(self, growing_index,
+                                             small_growing_trace, reference):
+        t = sample_times(small_growing_trace)[3]
+        structure = growing_index.get_snapshot(t,
+                                               components=[COMPONENT_STRUCT])
+        expected = reference(small_growing_trace, t)
+        assert structure.num_nodes() == expected.num_nodes()
+        assert structure.num_edges() == expected.num_edges()
+        assert structure.component_sizes()[COMPONENT_NODEATTR] == 0
+
+    def test_structure_and_nodeattr(self, growing_index, small_growing_trace,
+                                    reference):
+        t = sample_times(small_growing_trace)[3]
+        snapshot = growing_index.get_snapshot(
+            t, components=[COMPONENT_STRUCT, COMPONENT_NODEATTR])
+        expected = reference(small_growing_trace, t)
+        expected_nodeattr = expected.component_sizes()[COMPONENT_NODEATTR]
+        assert snapshot.component_sizes()[COMPONENT_NODEATTR] == expected_nodeattr
+
+
+class TestPlanning:
+    def test_plan_cost_positive_and_steps_end_at_virtual(self, churn_index,
+                                                         small_churn_trace):
+        t = sample_times(small_churn_trace)[2]
+        plan = churn_index.plan_singlepoint(t)
+        assert plan.estimated_cost > 0
+        assert plan.steps, "plan should contain at least one step"
+        assert plan.steps[-1].edge.kind == EdgeKind.VIRTUAL
+
+    def test_plan_structure_only_is_cheaper(self, growing_index,
+                                            small_growing_trace):
+        t = sample_times(small_growing_trace)[4]
+        full = growing_index.plan_singlepoint(t)
+        structure = growing_index.plan_singlepoint(t, [COMPONENT_STRUCT])
+        assert structure.estimated_cost <= full.estimated_cost
+
+    def test_skeleton_statistics(self, churn_index):
+        skeleton = churn_index.skeleton
+        assert skeleton.height() >= 2
+        assert len(skeleton.leaves()) >= 3
+        assert skeleton.total_index_entries() > 0
+        assert "DeltaGraph" in churn_index.describe()
+
+
+class TestMaterialization:
+    def test_materialize_root_reduces_plan_cost(self, small_churn_trace):
+        index = DeltaGraph.build(small_churn_trace, leaf_eventlist_size=250,
+                                 arity=2,
+                                 differential_functions=("intersection",))
+        t = sample_times(small_churn_trace)[-1]
+        before = index.plan_singlepoint(t).estimated_cost
+        index.materialize_roots()
+        after = index.plan_singlepoint(t).estimated_cost
+        assert after <= before
+
+    def test_materialized_retrieval_still_correct(self, small_churn_trace,
+                                                  reference):
+        index = DeltaGraph.build(small_churn_trace, leaf_eventlist_size=250,
+                                 arity=2,
+                                 differential_functions=("intersection",))
+        index.materialize_level_below_root(depth=2)
+        for t in sample_times(small_churn_trace, count=5):
+            expected = reference(small_churn_trace, t)
+            assert index.get_snapshot(t).elements == expected.elements
+
+    def test_total_materialization(self, small_churn_trace, reference):
+        index = DeltaGraph.build(small_churn_trace, leaf_eventlist_size=500,
+                                 arity=2,
+                                 differential_functions=("intersection",))
+        index.materialize_all_leaves()
+        assert len(index.materialized_nodes()) == len(index.skeleton.leaves())
+        assert index.materialization_memory_entries() > 0
+        t = sample_times(small_churn_trace)[1]
+        expected = reference(small_churn_trace, t)
+        assert index.get_snapshot(t).elements == expected.elements
+
+    def test_unmaterialize_restores_plan_cost(self, small_churn_trace):
+        index = DeltaGraph.build(small_churn_trace, leaf_eventlist_size=250,
+                                 arity=2,
+                                 differential_functions=("intersection",))
+        t = sample_times(small_churn_trace)[-1]
+        baseline = index.plan_singlepoint(t).estimated_cost
+        ids = index.materialize_roots()
+        for node_id in ids:
+            index.unmaterialize(node_id)
+        assert index.plan_singlepoint(t).estimated_cost == pytest.approx(baseline)
+
+
+class TestUpdates:
+    def test_append_events_and_query_recent(self, small_churn_trace,
+                                            reference):
+        events = list(small_churn_trace)
+        split = int(len(events) * 0.8)
+        index = DeltaGraph.build(events[:split], leaf_eventlist_size=250,
+                                 arity=2, differential_functions=("balanced",))
+        index.append_events(events[split:])
+        full_trace = small_churn_trace
+        t_mid = events[split + len(events[split:]) // 2].time
+        t_end = full_trace.end_time
+        for t in (t_mid, t_end):
+            expected = reference(full_trace, t)
+            assert index.get_snapshot(t).elements == expected.elements
+
+    def test_current_graph_tracks_updates(self, small_churn_trace):
+        events = list(small_churn_trace)
+        index = DeltaGraph.build(events[:1000], leaf_eventlist_size=250,
+                                 arity=2)
+        index.append_events(events[1000:1500])
+        current = index.current_graph()
+        expected = DeltaGraph.build(events[:1500], leaf_eventlist_size=250,
+                                    arity=2).current_graph()
+        assert current.elements == expected.elements
+
+
+class TestPartitionedRetrieval:
+    def test_partitioned_index_matches_reference(self, small_churn_trace,
+                                                 reference):
+        index = DeltaGraph.build(small_churn_trace, leaf_eventlist_size=400,
+                                 arity=2, num_partitions=4)
+        for t in sample_times(small_churn_trace, count=4):
+            expected = reference(small_churn_trace, t)
+            assert index.get_snapshot(t).elements == expected.elements
+
+    def test_parallel_retrieval_matches_serial(self, small_churn_trace):
+        index = DeltaGraph.build(small_churn_trace, leaf_eventlist_size=400,
+                                 arity=2, num_partitions=4)
+        t = sample_times(small_churn_trace)[3]
+        serial = index.get_snapshot(t)
+        parallel = index.get_snapshot_parallel(t, workers=4)
+        assert parallel.elements == serial.elements
+
+    def test_single_partition_retrieval_is_subset(self, small_churn_trace):
+        index = DeltaGraph.build(small_churn_trace, leaf_eventlist_size=400,
+                                 arity=2, num_partitions=3)
+        t = sample_times(small_churn_trace)[3]
+        whole = index.get_snapshot(t)
+        part = index.get_snapshot(t, partitions=[0])
+        assert 0 < len(part.elements) < len(whole.elements)
+        for key, value in part.elements.items():
+            assert whole.elements[key] == value

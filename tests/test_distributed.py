@@ -1,0 +1,133 @@
+"""Tests for the Pregel-like framework and partitioned deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.algorithms import connected_components, pagerank
+from repro.core.snapshot import GraphSnapshot
+from repro.core.events import new_edge, new_node
+from repro.datasets.random_trace import generate_citation_style_dataset
+from repro.distributed.algorithms import (
+    pregel_connected_components,
+    pregel_pagerank,
+    pregel_sssp,
+)
+from repro.distributed.partitioned import PartitionedHistoricalGraphStore
+from repro.distributed.pregel import PregelEngine, VertexProgram
+
+
+def line_graph(n=6) -> GraphSnapshot:
+    events = [new_node(1, i) for i in range(n)]
+    events += [new_edge(2, i, i, i + 1) for i in range(n - 1)]
+    return GraphSnapshot.from_events(events)
+
+
+def two_components() -> GraphSnapshot:
+    events = [new_node(1, i) for i in range(6)]
+    events += [new_edge(2, 0, 0, 1), new_edge(2, 1, 1, 2),
+               new_edge(2, 2, 3, 4), new_edge(2, 3, 4, 5)]
+    return GraphSnapshot.from_events(events)
+
+
+class TestPregelEngine:
+    def test_pagerank_sums_to_one(self):
+        graph = line_graph(8)
+        scores = pregel_pagerank(graph, iterations=15)
+        assert sum(scores.values()) == pytest.approx(1.0, rel=0.05)
+
+    def test_pagerank_matches_inmemory_implementation(self):
+        graph = two_components()
+        pregel_scores = pregel_pagerank(graph, iterations=30)
+        plain_scores = pagerank(graph, iterations=30)
+        for node in plain_scores:
+            assert pregel_scores[node] == pytest.approx(plain_scores[node],
+                                                        abs=0.02)
+
+    def test_pagerank_workers_agree(self):
+        graph = two_components()
+        one = pregel_pagerank(graph, iterations=20, num_workers=1)
+        four = pregel_pagerank(graph, iterations=20, num_workers=4)
+        for node in one:
+            assert one[node] == pytest.approx(four[node], abs=1e-9)
+
+    def test_connected_components_labels(self):
+        graph = two_components()
+        labels = pregel_connected_components(graph)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+        plain = connected_components(graph)
+        assert len({frozenset(c) for c in plain}) == 2
+
+    def test_sssp_hop_counts(self):
+        graph = line_graph(5)
+        distances = pregel_sssp(graph, source=0)
+        assert [distances[i] for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_sssp_unreachable_is_infinite(self):
+        graph = two_components()
+        distances = pregel_sssp(graph, source=0)
+        assert distances[5] == float("inf")
+
+    def test_engine_respects_max_supersteps(self):
+        class Chatty(VertexProgram):
+            def initial_value(self, vertex_id, out_degree, num_vertices):
+                return 0
+
+            def compute(self, vertex, messages):
+                vertex.value += 1
+                vertex.send_message_to_all_neighbors(1)
+
+        engine = PregelEngine(line_graph(4), Chatty(), max_supersteps=5)
+        values = engine.run()
+        assert engine.superstep == 5
+        assert all(v <= 6 for v in values.values())
+
+    def test_compute_must_be_overridden(self):
+        with pytest.raises(NotImplementedError):
+            PregelEngine(line_graph(3), VertexProgram()).run()
+
+
+@pytest.fixture(scope="module")
+def partitioned_store():
+    base_events, churn = generate_citation_style_dataset(
+        num_nodes=120, num_start_edges=300, num_events=2000, seed=23)
+    all_events = list(base_events) + list(churn)
+    return PartitionedHistoricalGraphStore(
+        all_events, num_partitions=4, leaf_eventlist_size=400, arity=2), \
+        all_events
+
+
+class TestPartitionedStore:
+    def test_parallel_snapshot_matches_serial_index(self, partitioned_store,
+                                                    reference):
+        store, events = partitioned_store
+        from repro.core.events import EventList
+        trace = EventList(events)
+        t = trace.end_time // 2
+        result = store.get_snapshot(t, workers=4)
+        expected = reference(trace, t)
+        assert result.snapshot.elements == expected.elements
+        assert len(result.per_partition_seconds) == 4
+        assert result.wall_seconds > 0
+
+    def test_worker_count_does_not_change_result(self, partitioned_store):
+        store, events = partitioned_store
+        t = events[-1].time
+        one = store.get_snapshot(t, workers=1).snapshot
+        four = store.get_snapshot(t, workers=4).snapshot
+        assert one.elements == four.elements
+
+    def test_pagerank_at_snapshot(self, partitioned_store):
+        store, events = partitioned_store
+        t = events[-1].time
+        scores = store.pagerank_at(t, iterations=5)
+        assert len(scores) > 0
+        assert sum(scores.values()) == pytest.approx(1.0, rel=0.1)
+
+    def test_pool_memory_tracking(self, partitioned_store):
+        store, events = partitioned_store
+        assert len(store.partition_memory_entries()) == 4
+        assert sum(store.partition_memory_entries()) > 0
+        assert "partitions=4" in store.describe()

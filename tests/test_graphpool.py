@@ -1,0 +1,215 @@
+"""Unit tests for the GraphPool, bit allocation, and HistGraph views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import delete_edge, new_edge, new_node, update_node_attr
+from repro.core.snapshot import GraphSnapshot
+from repro.errors import GraphPoolError
+from repro.graphpool.bitmap import BitAllocator, GraphKind
+from repro.graphpool.histgraph import HistGraph
+from repro.graphpool.pool import GraphPool
+
+
+def snapshot_one() -> GraphSnapshot:
+    return GraphSnapshot.from_events([
+        new_node(1, 0, {"name": "a"}),
+        new_node(1, 1, {"name": "b"}),
+        new_node(1, 2),
+        new_edge(2, 0, 0, 1),
+        new_edge(2, 1, 1, 2),
+    ], time=2)
+
+
+def snapshot_two() -> GraphSnapshot:
+    """Like snapshot_one but with edge 1 removed and node 3 added."""
+    snapshot = snapshot_one()
+    snapshot.apply_event(delete_edge(3, 1, 1, 2))
+    snapshot.apply_event(new_node(3, 3))
+    snapshot.time = 3
+    return snapshot
+
+
+class TestBitAllocator:
+    def test_current_graph_owns_bits_0_and_1(self):
+        allocator = BitAllocator()
+        assert allocator.current.bits == [0, 1]
+
+    def test_historical_graphs_get_bit_pairs(self):
+        allocator = BitAllocator()
+        first = allocator.register_historical()
+        second = allocator.register_historical()
+        assert first.bits == [2, 3]
+        assert second.bits == [4, 5]
+        assert first.secondary_bit == first.primary_bit + 1
+
+    def test_materialized_graphs_get_single_bits(self):
+        allocator = BitAllocator()
+        mat = allocator.register_materialized()
+        hist = allocator.register_historical()
+        assert len(mat.bits) == 1
+        # the pair stays aligned to an even bit even after a single-bit grab
+        assert hist.primary_bit % 2 == 0
+
+    def test_release_recycles_bits(self):
+        allocator = BitAllocator()
+        hist = allocator.register_historical()
+        allocator.release(hist.graph_id)
+        again = allocator.register_historical()
+        assert again.primary_bit == hist.primary_bit
+
+    def test_release_current_forbidden(self):
+        allocator = BitAllocator()
+        with pytest.raises(GraphPoolError):
+            allocator.release(0)
+
+    def test_dependency_must_exist(self):
+        allocator = BitAllocator()
+        with pytest.raises(GraphPoolError):
+            allocator.register_historical(dependency=99)
+
+    def test_mapping_table_contains_rows(self):
+        allocator = BitAllocator()
+        allocator.register_historical(time=5)
+        table = allocator.mapping_table()
+        assert any(row["kind"] == "historical" for row in table)
+        assert any(row["kind"] == "current" for row in table)
+
+
+class TestGraphPoolMembership:
+    def test_current_graph_membership(self):
+        pool = GraphPool()
+        pool.set_current(snapshot_one())
+        assert pool.contains(0, ("N", 0), 1)
+        assert not pool.contains(0, ("N", 99), 1)
+
+    def test_historical_graph_independent_storage(self):
+        pool = GraphPool()
+        registration = pool.add_historical(snapshot_one(), time=2,
+                                           auto_dependency=False)
+        assert pool.contains(registration.graph_id, ("N", 2), 1)
+        assert not pool.contains(registration.graph_id, ("N", 3), 1)
+
+    def test_extract_snapshot_roundtrip(self):
+        pool = GraphPool()
+        original = snapshot_one()
+        registration = pool.add_historical(original, time=2)
+        extracted = pool.extract_snapshot(registration.graph_id)
+        assert extracted.elements == original.elements
+
+    def test_dependent_graph_membership(self):
+        pool = GraphPool()
+        pool.set_current(snapshot_one())
+        registration = pool.add_historical(snapshot_two(), time=3,
+                                           dependency=0)
+        gid = registration.graph_id
+        assert registration.dependency == 0
+        assert pool.contains(gid, ("N", 3), 1)          # override: added
+        assert not pool.contains(gid, ("E", 1), (1, 2, False))  # override: removed
+        assert pool.contains(gid, ("N", 0), 1)          # inherited
+        # and the current graph is unaffected
+        assert pool.contains(0, ("E", 1), (1, 2, False))
+        assert not pool.contains(0, ("N", 3), 1)
+
+    def test_auto_dependency_touches_few_entries(self):
+        # snapshot_two differs from snapshot_one in 2 of ~7 entries; allow the
+        # auto-dependency heuristic to accept that ratio for this tiny graph.
+        pool = GraphPool(dependency_threshold=0.5)
+        pool.set_current(snapshot_one())
+        touched_before = pool.entries_touched
+        registration = pool.add_historical(snapshot_two(), time=3)
+        assert registration.dependency == 0
+        delta_touched = pool.entries_touched - touched_before
+        # only the differing entries (edge 1 removed, node 3 added) are touched
+        assert delta_touched <= 6
+
+    def test_union_memory_is_shared(self):
+        pool = GraphPool()
+        pool.set_current(snapshot_one())
+        pool.add_historical(snapshot_one().copy(), time=2)
+        pool.add_historical(snapshot_two(), time=3)
+        assert pool.union_entry_count() < pool.disjoint_memory_entries()
+        assert pool.estimated_memory_bytes() > 0
+
+    def test_release_and_cleanup(self):
+        pool = GraphPool()
+        registration = pool.add_historical(snapshot_one(), time=2,
+                                           auto_dependency=False)
+        before = pool.union_entry_count()
+        pool.release(registration.graph_id)
+        assert pool.pending_cleanup_count() == 1
+        removed = pool.cleanup()
+        assert removed == before
+        assert pool.union_entry_count() == 0
+
+    def test_release_with_dependents_forbidden(self):
+        pool = GraphPool()
+        mat = pool.add_materialized(snapshot_one(), time=2)
+        pool.add_historical(snapshot_two(), time=3, dependency=mat.graph_id)
+        with pytest.raises(GraphPoolError):
+            pool.release(mat.graph_id)
+
+    def test_apply_current_event_marks_recent_deletion(self):
+        pool = GraphPool()
+        pool.set_current(snapshot_one())
+        pool.apply_current_event(delete_edge(5, 0, 0, 1))
+        assert not pool.contains(0, ("E", 0), (0, 1, False))
+        pool.apply_current_event(new_node(6, 9))
+        assert pool.contains(0, ("N", 9), 1)
+
+    def test_attribute_value_versions_coexist(self):
+        pool = GraphPool()
+        old = GraphSnapshot.from_events([new_node(1, 0),
+                                         update_node_attr(1, 0, "job", None, "phd")])
+        new = GraphSnapshot.from_events([new_node(1, 0),
+                                         update_node_attr(2, 0, "job", None, "prof")])
+        r_old = pool.add_historical(old, time=1, auto_dependency=False)
+        r_new = pool.add_historical(new, time=2, auto_dependency=False)
+        assert pool.contains(r_old.graph_id, ("NA", 0, "job"), "phd")
+        assert not pool.contains(r_old.graph_id, ("NA", 0, "job"), "prof")
+        assert pool.contains(r_new.graph_id, ("NA", 0, "job"), "prof")
+
+
+class TestHistGraphView:
+    def make_view(self):
+        pool = GraphPool()
+        registration = pool.add_historical(snapshot_one(), time=2,
+                                           auto_dependency=False)
+        return HistGraph(pool, registration.graph_id, time=2)
+
+    def test_nodes_and_edges(self):
+        view = self.make_view()
+        assert view.num_nodes() == 3
+        assert view.num_edges() == 2
+        assert sorted(n.node_id for n in view.get_nodes()) == [0, 1, 2]
+
+    def test_neighbors_and_degree(self):
+        view = self.make_view()
+        assert view.neighbors(1) == {0, 2}
+        node = [n for n in view.get_nodes() if n.node_id == 1][0]
+        assert node.degree() == 2
+        assert sorted(n.node_id for n in node.get_neighbors()) == [0, 2]
+
+    def test_edge_object_lookup(self):
+        view = self.make_view()
+        edge = view.get_edge_obj(0, 1)
+        assert edge is not None
+        assert set(edge.endpoints()) == {0, 1}
+        assert view.get_edge_obj(0, 2) is None
+
+    def test_attributes_through_view(self):
+        view = self.make_view()
+        assert view.get_node_attr(0, "name") == "a"
+        assert view.get_node_attr(2, "name", default="?") == "?"
+
+    def test_to_snapshot(self):
+        view = self.make_view()
+        assert view.to_snapshot().elements == snapshot_one().elements
+
+    def test_has_node_and_edge_between(self):
+        view = self.make_view()
+        assert view.has_node(0)
+        assert not view.has_node(42)
+        assert view.has_edge_between(0, 1)
+        assert not view.has_edge_between(0, 2)

@@ -1,0 +1,150 @@
+"""End-to-end integration tests across subsystems.
+
+These exercise combinations the unit tests do not: a DeltaGraph persisted in
+the on-disk store (with compression and I/O instrumentation), multiple
+differential-function hierarchies sharing one set of leaves, the full
+manager stack on top of a disk-backed index, and configuration validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deltagraph import DeltaGraph, DeltaGraphConfig
+from repro.core.differential import MixedFunction
+from repro.core.skeleton import SUPER_ROOT_ID
+from repro.errors import ConfigurationError
+from repro.query.managers import GraphManager
+from repro.storage.disk_store import DiskKVStore
+from repro.storage.instrumented import InstrumentedKVStore
+from repro.storage.memory_store import InMemoryKVStore
+
+
+def sample_times(events, count=5):
+    start, end = events.start_time, events.end_time
+    step = max((end - start) // (count + 1), 1)
+    return [start + step * (i + 1) for i in range(count)]
+
+
+class TestDiskBackedIndex:
+    def test_build_and_query_on_disk(self, tmp_path, small_churn_trace,
+                                     reference):
+        store = InstrumentedKVStore(
+            DiskKVStore(str(tmp_path / "index.db"), compress=True))
+        index = DeltaGraph.build(small_churn_trace, store=store,
+                                 leaf_eventlist_size=300, arity=3,
+                                 differential_functions=("intersection",))
+        assert index.index_size_bytes() > 0
+        for t in sample_times(small_churn_trace, count=4):
+            expected = reference(small_churn_trace, t)
+            assert index.get_snapshot(t).elements == expected.elements
+        assert store.stats.gets > 0
+        store.close()
+
+    def test_manager_stack_on_disk_store(self, tmp_path, small_growing_trace,
+                                         reference):
+        store = DiskKVStore(str(tmp_path / "manager.db"))
+        gm = GraphManager.load(small_growing_trace, store=store,
+                               leaf_eventlist_size=400, arity=4)
+        t = sample_times(small_growing_trace)[2]
+        view = gm.get_hist_graph(t, "+node:all+edge:all")
+        expected = reference(small_growing_trace, t)
+        assert view.to_snapshot().elements == expected.elements
+        store.close()
+
+
+class TestMultipleHierarchies:
+    def test_two_hierarchies_share_leaves(self, small_churn_trace, reference):
+        index = DeltaGraph.build(
+            small_churn_trace, leaf_eventlist_size=300, arity=2,
+            differential_functions=("intersection",
+                                    MixedFunction(r1=0.9, r2=0.9)))
+        # two roots hang off the super-root (Figure 3b)
+        assert len(index.skeleton.roots()) == 2
+        for t in sample_times(small_churn_trace, count=4):
+            expected = reference(small_churn_trace, t)
+            assert index.get_snapshot(t).elements == expected.elements
+
+    def test_extra_hierarchy_costs_space_but_not_correctness(
+            self, small_churn_trace):
+        single = DeltaGraph.build(small_churn_trace, leaf_eventlist_size=300,
+                                  arity=2,
+                                  differential_functions=("intersection",))
+        double = DeltaGraph.build(
+            small_churn_trace, leaf_eventlist_size=300, arity=2,
+            differential_functions=("intersection", "balanced"))
+        assert double.index_entry_count() > single.index_entry_count()
+        t = sample_times(small_churn_trace)[1]
+        assert double.get_snapshot(t).elements == \
+            single.get_snapshot(t).elements
+
+
+class TestConfiguration:
+    def test_invalid_parameters_rejected(self, small_churn_trace):
+        with pytest.raises(ConfigurationError):
+            DeltaGraph.build(small_churn_trace, leaf_eventlist_size=0)
+        with pytest.raises(ConfigurationError):
+            DeltaGraph.build(small_churn_trace, arity=1)
+        with pytest.raises(ConfigurationError):
+            DeltaGraph.build(small_churn_trace, differential_functions=())
+        with pytest.raises(ConfigurationError):
+            DeltaGraph.build(small_churn_trace, num_partitions=0)
+        with pytest.raises(ConfigurationError):
+            DeltaGraph.build(small_churn_trace,
+                             differential_functions=(12345,))
+
+    def test_config_resolution(self):
+        config = DeltaGraphConfig(differential_functions=("mixed",))
+        functions = config.resolved_functions()
+        assert functions[0].name == "mixed"
+        config2 = DeltaGraphConfig(
+            differential_functions=(MixedFunction(0.7, 0.2),))
+        assert config2.resolved_functions()[0].r1 == 0.7
+
+    def test_empty_trace_builds_trivial_index(self):
+        index = DeltaGraph.build([], leaf_eventlist_size=10, arity=2)
+        assert len(index.skeleton.leaves()) == 1
+        assert index.current_graph().num_nodes() == 0
+
+    def test_initial_graph_seed(self, small_churn_trace, reference):
+        from repro.core.snapshot import GraphSnapshot
+        events = list(small_churn_trace)
+        split = len(events) // 3
+        seed_graph = GraphSnapshot.from_events(events[:split],
+                                               time=events[split - 1].time)
+        index = DeltaGraph.build(events[split:], initial_graph=seed_graph,
+                                 leaf_eventlist_size=300, arity=2)
+        t = small_churn_trace.end_time
+        expected = reference(small_churn_trace, t)
+        assert index.get_snapshot(t).elements == expected.elements
+
+
+class TestSkeletonIntrospection:
+    def test_levels_and_roots(self, small_churn_trace):
+        index = DeltaGraph.build(small_churn_trace, leaf_eventlist_size=250,
+                                 arity=2)
+        skeleton = index.skeleton
+        assert skeleton.super_root.id == SUPER_ROOT_ID
+        leaves = skeleton.leaves()
+        assert [l.index for l in leaves] == sorted(l.index for l in leaves)
+        assert skeleton.nodes_at_level(1) == leaves
+        assert all(n.level >= 2 for n in skeleton.interior_nodes())
+        assert skeleton.height() >= 3
+        assert len(skeleton.eventlist_edges()) == len(leaves) - 1
+
+    def test_duplicate_node_rejected(self):
+        from repro.core.skeleton import DeltaGraphSkeleton, NodeKind, SkeletonNode
+        from repro.errors import DeltaGraphIndexError
+        skeleton = DeltaGraphSkeleton()
+        skeleton.add_node(SkeletonNode("x", NodeKind.LEAF, level=1, index=0))
+        with pytest.raises(DeltaGraphIndexError):
+            skeleton.add_node(SkeletonNode("x", NodeKind.LEAF, level=1, index=1))
+
+    def test_edge_requires_existing_endpoints(self):
+        from repro.core.skeleton import (DeltaGraphSkeleton, EdgeKind,
+                                         SkeletonEdge)
+        from repro.errors import DeltaGraphIndexError
+        skeleton = DeltaGraphSkeleton()
+        with pytest.raises(DeltaGraphIndexError):
+            skeleton.add_edge(SkeletonEdge("missing", "also-missing",
+                                           EdgeKind.DELTA))

@@ -1,0 +1,271 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The correctness of the whole system rests on a handful of algebraic
+properties; these tests exercise them on randomly generated event traces and
+element dictionaries:
+
+* event application is invertible (``G + E - E == G``),
+* ``Delta.between(a, b)`` applied to ``a`` always yields ``b`` and its
+  inverse applied to ``b`` yields ``a``,
+* columnar splitting of deltas and eventlists loses nothing,
+* every differential function produces a parent from which each child can be
+  reconstructed via the stored delta (the defining DeltaGraph property),
+* DeltaGraph retrieval equals naive replay for arbitrary traces and times,
+* the GraphPool reproduces exactly the snapshots overlaid into it.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.delta import Delta
+from repro.core.deltagraph import DeltaGraph, split_events_by_component
+from repro.core.differential import (
+    BalancedFunction,
+    EmptyFunction,
+    IntersectionFunction,
+    MixedFunction,
+    UnionFunction,
+)
+from repro.core.events import (
+    Event,
+    EventList,
+    delete_edge,
+    delete_node,
+    new_edge,
+    new_node,
+    update_node_attr,
+)
+from repro.core.partition import HashPartitioner
+from repro.core.snapshot import GraphSnapshot
+from repro.graphpool.pool import GraphPool
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def event_traces(draw, min_events=5, max_events=120):
+    """Random but *consistent* event traces (deletes target live elements)."""
+    num_events = draw(st.integers(min_events, max_events))
+    rng = draw(st.randoms(use_true_random=False))
+    events = []
+    live_nodes = {}
+    live_edges = {}
+    next_node, next_edge, time = 0, 0, 0
+    for _ in range(num_events):
+        time += rng.randint(1, 3)
+        choice = rng.random()
+        if choice < 0.35 or len(live_nodes) < 2:
+            attrs = {"label": rng.choice("abc")} if rng.random() < 0.5 else {}
+            events.append(new_node(time, next_node, attrs))
+            live_nodes[next_node] = dict(attrs)
+            next_node += 1
+        elif choice < 0.65:
+            a, b = rng.sample(sorted(live_nodes), 2)
+            directed = rng.random() < 0.3
+            events.append(new_edge(time, next_edge, a, b, directed=directed))
+            live_edges[next_edge] = (a, b, directed)
+            next_edge += 1
+        elif choice < 0.8 and live_edges:
+            edge_id = rng.choice(sorted(live_edges))
+            a, b, directed = live_edges.pop(edge_id)
+            # delete events must carry the true edge state (directedness) so
+            # they can be applied backward — Section 3.1's bidirectionality.
+            events.append(delete_edge(time, edge_id, a, b, directed=directed))
+        elif choice < 0.92 and live_nodes:
+            node_id = rng.choice(sorted(live_nodes))
+            old = live_nodes[node_id].get("score")
+            new = rng.randint(0, 9)
+            events.append(update_node_attr(time, node_id, "score", old, new))
+            live_nodes[node_id]["score"] = new
+        elif live_nodes:
+            # delete an isolated node only, to keep the trace consistent
+            isolated = [n for n in live_nodes
+                        if not any(n in (src, dst)
+                                   for src, dst, _d in live_edges.values())]
+            if isolated:
+                node_id = rng.choice(isolated)
+                attrs = live_nodes.pop(node_id)
+                events.append(delete_node(time, node_id, attrs))
+    return EventList(events)
+
+
+@st.composite
+def snapshot_pairs(draw):
+    """Two related snapshots built from a prefix and the full trace."""
+    trace = draw(event_traces(min_events=8, max_events=80))
+    events = list(trace)
+    cut = draw(st.integers(1, len(events)))
+    older = GraphSnapshot.from_events(events[:cut])
+    newer = GraphSnapshot.from_events(events)
+    return older, newer
+
+
+_SETTINGS = settings(max_examples=40, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# event / delta algebra
+# ---------------------------------------------------------------------------
+
+
+@_SETTINGS
+@given(event_traces())
+def test_event_application_is_invertible(trace):
+    # G_k = G_{k-1} + E  and  G_{k-1} = G_k - E : applying the suffix of a
+    # trace forward and then backward returns to the prefix state.
+    events = list(trace)
+    cut = len(events) // 2
+    snapshot = GraphSnapshot.from_events(events[:cut])
+    before = dict(snapshot.elements)
+    suffix = events[cut:]
+    snapshot.apply_events(suffix, forward=True)
+    assert snapshot.elements == GraphSnapshot.from_events(events).elements
+    snapshot.apply_events(suffix, forward=False)
+    assert snapshot.elements == before
+
+
+@_SETTINGS
+@given(snapshot_pairs())
+def test_delta_between_reconstructs_both_directions(pair):
+    older, newer = pair
+    delta = Delta.between(older, newer)
+    assert delta.apply_to_copy(older).elements == newer.elements
+    assert delta.invert().apply_to_copy(newer).elements == older.elements
+
+
+@_SETTINGS
+@given(snapshot_pairs())
+def test_delta_columnar_split_is_lossless(pair):
+    older, newer = pair
+    delta = Delta.between(older, newer)
+    merged = Delta.merge_components(delta.split_components().values())
+    assert merged == delta
+    assert sum(delta.component_sizes().values()) == len(delta)
+
+
+@_SETTINGS
+@given(event_traces())
+def test_event_columnar_split_is_lossless(trace):
+    by_component = split_events_by_component(trace)
+    rebuilt = GraphSnapshot.empty()
+    for events in by_component.values():
+        rebuilt.apply_events(events, forward=True)
+    direct = GraphSnapshot.from_events(trace)
+    assert rebuilt.elements == direct.elements
+
+
+@_SETTINGS
+@given(event_traces(), st.integers(2, 5))
+def test_partitioning_is_a_partition(trace, num_partitions):
+    partitioner = HashPartitioner(num_partitions)
+    snapshot = GraphSnapshot.from_events(trace)
+    parts = partitioner.split_snapshot(snapshot)
+    assert sum(len(p.elements) for p in parts) == len(snapshot.elements)
+    assert partitioner.merge_snapshots(parts).elements == snapshot.elements
+    buckets = partitioner.split_events(trace)
+    assert sum(len(b) for b in buckets) == len(trace)
+
+
+# ---------------------------------------------------------------------------
+# differential functions
+# ---------------------------------------------------------------------------
+
+
+@_SETTINGS
+@given(snapshot_pairs(),
+       st.sampled_from(["intersection", "union", "balanced", "empty",
+                        "mixed"]))
+def test_children_reconstructible_from_any_parent(pair, function_name):
+    functions = {
+        "intersection": IntersectionFunction(),
+        "union": UnionFunction(),
+        "balanced": BalancedFunction(),
+        "empty": EmptyFunction(),
+        "mixed": MixedFunction(r1=0.7, r2=0.3),
+    }
+    older, newer = pair
+    parent = functions[function_name]([older, newer])
+    for child in (older, newer):
+        delta = Delta.between(parent, child)
+        assert delta.apply_to_copy(parent).elements == child.elements
+
+
+@_SETTINGS
+@given(snapshot_pairs())
+def test_intersection_is_subset_union_is_superset(pair):
+    older, newer = pair
+    intersection = IntersectionFunction()([older, newer]).elements
+    union = UnionFunction()([older, newer]).elements
+    for key, value in intersection.items():
+        assert older.elements[key] == value and newer.elements[key] == value
+    for key in older.elements:
+        assert key in union
+    for key in newer.elements:
+        assert key in union
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: DeltaGraph retrieval == naive replay
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(event_traces(min_events=30, max_events=150),
+       st.integers(3, 17), st.integers(2, 4),
+       st.sampled_from(["intersection", "balanced", "union"]),
+       st.data())
+def test_deltagraph_retrieval_matches_replay(trace, leaf_size, arity,
+                                             function, data):
+    index = DeltaGraph.build(trace, leaf_eventlist_size=leaf_size,
+                             arity=arity,
+                             differential_functions=(function,))
+    time = data.draw(st.integers(trace.start_time, trace.end_time))
+    expected = GraphSnapshot.empty()
+    for event in trace:
+        if event.time <= time:
+            expected.apply_event(event)
+    assert index.get_snapshot(time).elements == expected.elements
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(event_traces(min_events=40, max_events=150), st.data())
+def test_multipoint_matches_singlepoint_property(trace, data):
+    index = DeltaGraph.build(trace, leaf_eventlist_size=11, arity=2,
+                             differential_functions=("balanced",))
+    times = data.draw(st.lists(
+        st.integers(trace.start_time, trace.end_time),
+        min_size=1, max_size=4))
+    multi = index.get_snapshots(times)
+    for t, snapshot in zip(times, multi):
+        assert snapshot.elements == index.get_snapshot(t).elements
+
+
+# ---------------------------------------------------------------------------
+# GraphPool round-trips
+# ---------------------------------------------------------------------------
+
+
+@_SETTINGS
+@given(snapshot_pairs(), st.booleans())
+def test_graphpool_roundtrips_overlaid_snapshots(pair, use_dependency):
+    older, newer = pair
+    pool = GraphPool(dependency_threshold=1.1 if use_dependency else 0.0)
+    pool.set_current(newer)
+    registration_old = pool.add_historical(older, time=1)
+    registration_new = pool.add_historical(newer.copy(), time=2)
+    assert pool.extract_snapshot(registration_old.graph_id).elements == \
+        older.elements
+    assert pool.extract_snapshot(registration_new.graph_id).elements == \
+        newer.elements
+    # releasing one snapshot never corrupts the other
+    pool.release(registration_new.graph_id)
+    pool.cleanup()
+    assert pool.extract_snapshot(registration_old.graph_id).elements == \
+        older.elements

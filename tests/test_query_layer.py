@@ -1,0 +1,194 @@
+"""Tests for attr_options parsing, TimeExpression, and the manager facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deltagraph import DeltaGraph
+from repro.core.events import EventList, new_edge, new_node, transient_edge
+from repro.core.snapshot import COMPONENT_NODEATTR, COMPONENT_STRUCT
+from repro.errors import QueryError
+from repro.query.attr_options import parse_attr_options
+from repro.query.managers import GraphManager, QueryManager
+from repro.query.time_expression import TimeExpression
+
+
+class TestAttrOptions:
+    def test_default_is_structure_only(self):
+        attr_filter = parse_attr_options("")
+        assert attr_filter.is_structure_only
+        assert attr_filter.components() == [COMPONENT_STRUCT]
+
+    def test_all_node_attributes(self):
+        attr_filter = parse_attr_options("+node:all")
+        assert attr_filter.accepts_node_attr("anything")
+        assert not attr_filter.accepts_edge_attr("anything")
+        assert COMPONENT_NODEATTR in attr_filter.components()
+
+    def test_paper_example(self):
+        attr_filter = parse_attr_options("+node:all-node:salary+edge:name")
+        assert attr_filter.accepts_node_attr("age")
+        assert not attr_filter.accepts_node_attr("salary")
+        assert attr_filter.accepts_edge_attr("name")
+        assert not attr_filter.accepts_edge_attr("weight")
+
+    def test_specific_include_without_all(self):
+        attr_filter = parse_attr_options("+node:name")
+        assert attr_filter.accepts_node_attr("name")
+        assert not attr_filter.accepts_node_attr("age")
+
+    def test_invalid_string_raises(self):
+        with pytest.raises(QueryError):
+            parse_attr_options("node:name")
+        with pytest.raises(QueryError):
+            parse_attr_options("+vertex:name")
+
+    def test_apply_filters_snapshot(self):
+        from repro.core.events import update_node_attr
+        from repro.core.snapshot import GraphSnapshot
+        snapshot = GraphSnapshot.from_events([
+            new_node(1, 0),
+            update_node_attr(1, 0, "name", None, "a"),
+            update_node_attr(1, 0, "salary", None, 10),
+        ])
+        attr_filter = parse_attr_options("+node:all-node:salary")
+        filtered = attr_filter.apply(snapshot)
+        assert filtered.get_node_attr(0, "name") == "a"
+        assert filtered.get_node_attr(0, "salary") is None
+
+
+class TestTimeExpression:
+    def test_string_expression(self):
+        expr = TimeExpression([10, 20], "t1 and not t2")
+        assert expr.evaluate([True, False])
+        assert not expr.evaluate([True, True])
+        assert not expr.evaluate([False, False])
+
+    def test_or_expression(self):
+        expr = TimeExpression([1, 2, 3], "(t1 or t2) and not t3")
+        assert expr.evaluate([False, True, False])
+        assert not expr.evaluate([False, True, True])
+
+    def test_callable_expression(self):
+        expr = TimeExpression([1, 2], lambda a, b: a != b)
+        assert expr.evaluate([True, False])
+        assert not expr.evaluate([True, True])
+
+    def test_invalid_token_rejected(self):
+        with pytest.raises(QueryError):
+            TimeExpression([1], "__import__('os')")
+        with pytest.raises(QueryError):
+            TimeExpression([1], "t2")         # out of range
+        with pytest.raises(QueryError):
+            TimeExpression([], "t1")
+
+    def test_membership_arity_checked(self):
+        expr = TimeExpression([1, 2], "t1 or t2")
+        with pytest.raises(QueryError):
+            expr.evaluate([True])
+
+
+@pytest.fixture(scope="module")
+def manager(small_churn_trace) -> GraphManager:
+    return GraphManager.load(small_churn_trace, leaf_eventlist_size=300,
+                             arity=2, differential_functions=("balanced",))
+
+
+class TestGraphManager:
+    def test_get_hist_graph_matches_reference(self, manager,
+                                              small_churn_trace, reference):
+        t = small_churn_trace.end_time // 2
+        view = manager.get_hist_graph(t, "+node:all+edge:all")
+        expected = reference(small_churn_trace, t)
+        assert view.num_nodes() == expected.num_nodes()
+        assert view.num_edges() == expected.num_edges()
+        assert view.to_snapshot().elements == expected.elements
+
+    def test_structure_only_view_has_no_attributes(self, manager,
+                                                   small_churn_trace):
+        t = small_churn_trace.end_time // 2
+        view = manager.get_hist_graph(t)
+        snapshot = view.to_snapshot()
+        assert snapshot.component_sizes()[COMPONENT_NODEATTR] == 0
+
+    def test_multipoint_views(self, manager, small_churn_trace, reference):
+        end = small_churn_trace.end_time
+        times = [end // 4, end // 2, (3 * end) // 4]
+        views = manager.get_hist_graphs(times, "+node:all+edge:all")
+        assert len(views) == 3
+        for t, view in zip(times, views):
+            expected = reference(small_churn_trace, t)
+            assert view.to_snapshot().elements == expected.elements
+
+    def test_time_expression_difference(self, manager, small_churn_trace,
+                                        reference):
+        end = small_churn_trace.end_time
+        t1, t2 = end // 2, end
+        expr = TimeExpression([t2, t1], "t1 and not t2")
+        view = manager.get_hist_graph_expression(expr)
+        later = reference(small_churn_trace, t2).filtered([COMPONENT_STRUCT])
+        earlier = reference(small_churn_trace, t1).filtered([COMPONENT_STRUCT])
+        expected_keys = set(later.elements) - set(earlier.elements)
+        assert set(view.to_snapshot().elements) == expected_keys
+
+    def test_interval_graph_contains_added_elements(self, manager,
+                                                    small_churn_trace):
+        end = small_churn_trace.end_time
+        view = manager.get_hist_graph_interval(end // 2, end)
+        snapshot = view.to_snapshot()
+        assert len(snapshot.elements) > 0
+
+    def test_release_and_cleanup(self, small_churn_trace):
+        local = GraphManager.load(small_churn_trace, leaf_eventlist_size=500,
+                                  arity=2)
+        t = small_churn_trace.end_time // 2
+        view = local.get_hist_graph(t)
+        assert view in local.active_graphs()
+        local.release(view)
+        assert view not in local.active_graphs()
+        assert local.cleanup() >= 0
+        with pytest.raises(QueryError):
+            local.release(view)
+
+    def test_pool_reuses_memory_across_queries(self, manager,
+                                               small_churn_trace):
+        end = small_churn_trace.end_time
+        before = manager.pool.union_entry_count()
+        manager.get_hist_graphs([end - 10, end - 5, end], "+node:all")
+        after = manager.pool.union_entry_count()
+        # three more snapshots should cost far less than 3x the union size
+        assert after < before * 2
+
+    def test_apply_updates_visible_in_current(self, small_churn_trace):
+        local = GraphManager.load(small_churn_trace, leaf_eventlist_size=500,
+                                  arity=2)
+        end = small_churn_trace.end_time
+        local.apply_update(new_node(end + 10, 777777))
+        assert local.index.current_graph().has_node(777777)
+        assert local.pool.contains(0, ("N", 777777), 1)
+
+
+class TestQueryManager:
+    def test_external_id_resolution(self, manager, small_churn_trace):
+        qm = QueryManager(manager)
+        qm.register_mapping("alice", 3)
+        assert qm.resolve("alice") == 3
+        assert qm.external_id(3) == "alice"
+        assert qm.external_id(99) is None
+        with pytest.raises(QueryError):
+            qm.resolve("bob")
+
+    def test_populate_from_snapshot(self):
+        from repro.core.events import update_node_attr
+        from repro.core.snapshot import GraphSnapshot
+        events = EventList([
+            new_node(1, 0), update_node_attr(1, 0, "name", None, "ada"),
+            new_node(2, 1), update_node_attr(2, 1, "name", None, "alan"),
+            new_edge(3, 0, 0, 1),
+        ])
+        manager = GraphManager.load(events, leaf_eventlist_size=10, arity=2)
+        qm = QueryManager(manager)
+        count = qm.populate_from_snapshot(manager.index.current_graph())
+        assert count == 2
+        assert qm.resolve("ada") == 0
+        assert qm.neighbors_of("ada", 3) == ["alan"]

@@ -1,0 +1,165 @@
+"""Tests for the key-value storage substrate."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.storage.compression import CompressedCodec, PickleCodec
+from repro.storage.disk_store import DiskKVStore
+from repro.storage.instrumented import (
+    InstrumentedKVStore,
+    SimulatedLatencyModel,
+)
+from repro.storage.kvstore import make_key, parse_key
+from repro.storage.memory_store import InMemoryKVStore
+
+
+class TestKeyScheme:
+    def test_make_and_parse_roundtrip(self):
+        key = make_key(3, "delta:interior:0:leaf:1", "struct")
+        assert parse_key(key) == (3, "delta:interior:0:leaf:1", "struct")
+
+    def test_distinct_components_distinct_keys(self):
+        assert make_key(0, "d", "struct") != make_key(0, "d", "nodeattr")
+        assert make_key(0, "d", "struct") != make_key(1, "d", "struct")
+
+
+class TestCodecs:
+    def test_pickle_roundtrip(self):
+        codec = PickleCodec()
+        value = {"a": [1, 2, 3], "b": ("x", 4.5)}
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_compressed_roundtrip_and_smaller(self):
+        codec = CompressedCodec()
+        value = {"k" + str(i): "v" * 50 for i in range(100)}
+        encoded = codec.encode(value)
+        assert codec.decode(encoded) == value
+        assert len(encoded) < len(PickleCodec().encode(value))
+
+
+class StoreContract:
+    """Behavioural contract every KVStore implementation must satisfy."""
+
+    def make_store(self, tmp_path):
+        raise NotImplementedError
+
+    def test_put_get_overwrite(self, tmp_path):
+        store = self.make_store(tmp_path)
+        store.put("a", {"x": 1})
+        store.put("a", {"x": 2})
+        assert store.get("a") == {"x": 2}
+
+    def test_missing_key_raises(self, tmp_path):
+        store = self.make_store(tmp_path)
+        with pytest.raises(KeyNotFoundError):
+            store.get("missing")
+        assert store.get_or_default("missing", 42) == 42
+
+    def test_delete_and_contains(self, tmp_path):
+        store = self.make_store(tmp_path)
+        store.put("a", 1)
+        assert store.contains("a")
+        store.delete("a")
+        assert not store.contains("a")
+        store.delete("a")  # idempotent
+
+    def test_keys_and_size(self, tmp_path):
+        store = self.make_store(tmp_path)
+        store.put_many([("a", 1), ("b", 2), ("c", 3)])
+        assert sorted(store.keys()) == ["a", "b", "c"]
+        assert store.size() == 3
+        assert list(store.get_many(["a", "c"])) == [1, 3]
+
+
+class TestInMemoryStore(StoreContract):
+    def make_store(self, tmp_path):
+        return InMemoryKVStore()
+
+    def test_encoded_store_reports_bytes(self, tmp_path):
+        store = InMemoryKVStore(codec=CompressedCodec())
+        store.put("a", list(range(1000)))
+        assert store.total_bytes() > 0
+        assert store.get("a") == list(range(1000))
+
+
+class TestDiskStore(StoreContract):
+    def make_store(self, tmp_path):
+        return DiskKVStore(str(tmp_path / "store.db"))
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        store = DiskKVStore(path)
+        store.put("a", {"payload": list(range(50))})
+        store.put("b", "hello")
+        store.delete("b")
+        store.close()
+        reopened = DiskKVStore(path)
+        assert reopened.get("a") == {"payload": list(range(50))}
+        assert not reopened.contains("b")
+        reopened.close()
+
+    def test_compaction_shrinks_file(self, tmp_path):
+        path = str(tmp_path / "compact.db")
+        store = DiskKVStore(path, compress=False)
+        for i in range(20):
+            store.put("key", list(range(200)))  # 19 dead versions
+        before = store.file_bytes()
+        store.compact()
+        after = store.file_bytes()
+        assert after < before
+        assert store.get("key") == list(range(200))
+        store.close()
+
+    def test_total_bytes_counts_live_data(self, tmp_path):
+        store = DiskKVStore(str(tmp_path / "bytes.db"))
+        store.put("a", "x" * 1000)
+        assert 0 < store.total_bytes() <= store.file_bytes()
+        store.close()
+
+    def test_context_manager(self, tmp_path):
+        path = str(tmp_path / "ctx.db")
+        with DiskKVStore(path) as store:
+            store.put("a", 1)
+        assert DiskKVStore(path).get("a") == 1
+
+
+class TestInstrumentedStore:
+    def test_counts_gets_puts_and_bytes(self):
+        store = InstrumentedKVStore(InMemoryKVStore())
+        store.put("a", list(range(100)))
+        store.get("a")
+        store.get("a")
+        assert store.stats.puts == 1
+        assert store.stats.gets == 2
+        assert store.stats.bytes_read > 0
+        assert store.stats.bytes_written > 0
+
+    def test_simulated_latency_accumulates(self):
+        model = SimulatedLatencyModel(per_get=0.001, per_byte=0.0, sleep=False)
+        store = InstrumentedKVStore(InMemoryKVStore(), latency=model)
+        store.put("a", 1)
+        for _ in range(5):
+            store.get("a")
+        assert store.stats.simulated_seconds == pytest.approx(
+            5 * 0.001 + model.per_put, rel=0.01)
+
+    def test_reset_and_snapshot_diff(self):
+        store = InstrumentedKVStore(InMemoryKVStore())
+        store.put("a", 1)
+        before = store.stats.snapshot()
+        store.get("a")
+        diff = store.stats - before
+        assert diff.gets == 1 and diff.puts == 0
+        store.reset_stats()
+        assert store.stats.gets == 0
+
+    def test_delegates_keys_and_delete(self):
+        store = InstrumentedKVStore(InMemoryKVStore())
+        store.put("a", 1)
+        assert list(store.keys()) == ["a"]
+        store.delete("a")
+        assert not store.contains("a")
