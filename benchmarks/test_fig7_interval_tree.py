@@ -30,11 +30,23 @@ ENTRY_BYTES = 100
 
 
 def _timed_queries(store, times):
-    series = []
-    for t in times:
-        started = time.perf_counter()
-        store.get_snapshot(t)
-        series.append(time.perf_counter() - started)
+    """Per-query best-of-two sweeps.
+
+    The per-timepoint *distribution* is the signal here (late timepoints
+    genuinely cost the interval tree more), so medians across timepoints
+    would distort the comparison; instead each query keeps the better of
+    two runs, shedding one-off scheduler pauses on a busy single-core box
+    without touching the distribution's shape.
+    """
+    series = None
+    for _sweep in range(2):
+        current = []
+        for t in times:
+            started = time.perf_counter()
+            store.get_snapshot(t)
+            current.append(time.perf_counter() - started)
+        series = (current if series is None else
+                  [min(a, b) for a, b in zip(series, current)])
     return series
 
 
@@ -80,6 +92,11 @@ def test_fig7a_retrieval_times(benchmark, recorder, interval_tree,
             "dg_root_grandchildren": statistics.mean(grandchild_series),
             "dg_total_materialization": statistics.mean(total_series),
         },
+        "medians": {
+            "interval_tree": statistics.median(tree_series),
+            "dg_root_grandchildren": statistics.median(grandchild_series),
+            "dg_total_materialization": statistics.median(total_series),
+        },
     })
     print(f"\n[fig7a] mean ms — interval tree "
           f"{statistics.mean(tree_series) * 1000:.1f}, "
@@ -87,7 +104,9 @@ def test_fig7a_retrieval_times(benchmark, recorder, interval_tree,
           f"{statistics.mean(grandchild_series) * 1000:.1f}, "
           f"DG (total mat.) {statistics.mean(total_series) * 1000:.1f}")
     # Paper shape: both DeltaGraph configurations beat the interval tree, and
-    # total materialization is the fastest of all.
+    # total materialization is the fastest of all.  Means, not medians: the
+    # interval tree is bimodal across timepoints (late timepoints genuinely
+    # cost more), and that tail is part of the claim.
     assert statistics.mean(total_series) < statistics.mean(tree_series)
     assert statistics.mean(total_series) <= statistics.mean(grandchild_series)
 

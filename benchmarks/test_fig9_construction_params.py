@@ -36,7 +36,10 @@ def _measure(dataset, leaf_size, arity, times):
         started = time.perf_counter()
         index.get_snapshot(t)
         per_query.append(time.perf_counter() - started)
-    return statistics.mean(per_query), index.index_size_bytes()
+    # Median, not mean: on a shared/single-core box one scheduler or GC
+    # pause in a 12-query sweep skews the mean enough to flip the tight
+    # cross-configuration shape assertions below.
+    return statistics.median(per_query), index.index_size_bytes()
 
 
 def test_fig9a_varying_arity(benchmark, recorder, dataset1):

@@ -32,14 +32,25 @@ def snapshot_and_view(dataset1):
     return snapshot, view
 
 
+def _best_of(n, fn, *args, **kwargs):
+    """Minimum wall time over ``n`` runs (noise-robust) plus the last result."""
+    best, result = None, None
+    for _ in range(n):
+        started = time.perf_counter()
+        result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
 def test_bitmap_penalty_on_pagerank(benchmark, recorder, snapshot_and_view):
     snapshot, view = snapshot_and_view
-    started = time.perf_counter()
-    plain_scores = pagerank(snapshot, iterations=ITERATIONS)
-    plain_seconds = time.perf_counter() - started
-    started = time.perf_counter()
-    view_scores = pagerank(view, iterations=ITERATIONS)
-    view_seconds = time.perf_counter() - started
+    # Best-of-3: a single interrupted run on a busy single-core machine
+    # otherwise dominates the measured ratio.
+    plain_seconds, plain_scores = _best_of(3, pagerank, snapshot,
+                                           iterations=ITERATIONS)
+    view_seconds, view_scores = _best_of(3, pagerank, view,
+                                         iterations=ITERATIONS)
     benchmark(lambda: pagerank(snapshot, iterations=3))
     overhead = (view_seconds - plain_seconds) / plain_seconds
     recorder("text_bitmap_penalty", {

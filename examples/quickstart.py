@@ -30,9 +30,12 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     # 2. Build the DeltaGraph index (this is `gm.loadDeltaGraphIndex(...)`).
+    #    cache_max_bytes enables the cross-query delta cache, so repeated
+    #    and overlapping queries skip the store (see examples/cached_retrieval.py).
     # ------------------------------------------------------------------
     gm = GraphManager.load(events, leaf_eventlist_size=1500, arity=4,
-                           differential_functions=("intersection",))
+                           differential_functions=("intersection",),
+                           cache_max_bytes=64 << 20)
     print("index:", gm.index.describe())
 
     # ------------------------------------------------------------------
@@ -83,6 +86,7 @@ def main() -> None:
         gm.release(view)
     removed = gm.cleanup()
     print(f"\nreleased {len(views)} snapshots; cleaner removed {removed} entries")
+    print(f"delta cache: {gm.cache_stats()}")
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ The top-level package re-exports the most commonly used classes; see
 ``README.md`` for a quickstart and ``DESIGN.md`` for the system inventory.
 """
 
+from .cache import CacheStats, DeltaCache
 from .core import (
     DeltaGraph,
     DeltaGraphConfig,
@@ -38,6 +39,8 @@ from .storage import DiskKVStore, InMemoryKVStore, InstrumentedKVStore
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheStats",
+    "DeltaCache",
     "DeltaGraph",
     "DeltaGraphConfig",
     "Event",

@@ -1,0 +1,203 @@
+"""Eviction policies for the :class:`~repro.cache.delta_cache.DeltaCache`.
+
+A policy tracks the access history of cache keys and, when the cache's byte
+budget is exceeded, names the next *victim* to evict.  Three classic policies
+are provided:
+
+* :class:`LRUPolicy` — evict the least recently used key; the default and the
+  right choice for the sliding temporal locality of snapshot queries (nearby
+  timepoints share most of their delta path to the super-root),
+* :class:`LFUPolicy` — evict the least frequently used key (O(1) frequency
+  buckets, LRU tie-break); better when a few hot deltas — typically those
+  adjacent to the super-root — dominate a long-running workload,
+* :class:`ClockPolicy` — the classic second-chance approximation of LRU with
+  O(1) bookkeeping per access.
+
+Policies are deliberately *not* thread-safe on their own: the cache serializes
+all policy calls under its lock.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Dict, Optional, Type
+
+from ..errors import ConfigurationError
+
+__all__ = ["EvictionPolicy", "LRUPolicy", "LFUPolicy", "ClockPolicy",
+           "get_policy", "available_policies"]
+
+
+class EvictionPolicy(ABC):
+    """Interface the cache uses to order keys for eviction."""
+
+    #: Registry name, e.g. ``"lru"``; set by subclasses.
+    name: str = ""
+
+    @abstractmethod
+    def on_insert(self, key: str) -> None:
+        """A new key entered the cache."""
+
+    @abstractmethod
+    def on_access(self, key: str) -> None:
+        """An existing key was read (or overwritten)."""
+
+    @abstractmethod
+    def on_remove(self, key: str) -> None:
+        """A key left the cache (eviction or explicit invalidation)."""
+
+    @abstractmethod
+    def victim(self) -> Optional[str]:
+        """The key to evict next (``None`` when the policy tracks no keys)."""
+
+
+class LRUPolicy(EvictionPolicy):
+    """Evict the least recently used key."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+
+    def on_insert(self, key: str) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_access(self, key: str) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def on_remove(self, key: str) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> Optional[str]:
+        return next(iter(self._order), None)
+
+
+class LFUPolicy(EvictionPolicy):
+    """Evict the least frequently used key (LRU among ties).
+
+    Implemented with the standard O(1) scheme: a frequency counter per key
+    plus per-frequency recency buckets and a running minimum frequency.
+    """
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        self._freq: Dict[str, int] = {}
+        self._buckets: Dict[int, "OrderedDict[str, None]"] = {}
+        self._min_freq = 0
+
+    def on_insert(self, key: str) -> None:
+        self._freq[key] = 1
+        self._buckets.setdefault(1, OrderedDict())[key] = None
+        self._min_freq = 1
+
+    def on_access(self, key: str) -> None:
+        freq = self._freq.get(key)
+        if freq is None:
+            return
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
+            if self._min_freq == freq:
+                self._min_freq = freq + 1
+        self._freq[key] = freq + 1
+        self._buckets.setdefault(freq + 1, OrderedDict())[key] = None
+
+    def on_remove(self, key: str) -> None:
+        freq = self._freq.pop(key, None)
+        if freq is None:
+            return
+        bucket = self._buckets.get(freq)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._buckets[freq]
+                if self._min_freq == freq:
+                    self._min_freq = min(self._buckets, default=0)
+
+    def victim(self) -> Optional[str]:
+        if not self._freq:
+            return None
+        bucket = self._buckets.get(self._min_freq)
+        if not bucket:
+            self._min_freq = min(self._buckets)
+            bucket = self._buckets[self._min_freq]
+        return next(iter(bucket))
+
+
+class ClockPolicy(EvictionPolicy):
+    """Second-chance (clock) approximation of LRU.
+
+    Keys sit on a circular list with a reference bit; the clock hand sweeps
+    past referenced keys (clearing their bit) and stops at the first
+    unreferenced one.
+    """
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        #: key -> reference bit; insertion order is the clock order.
+        self._ref: "OrderedDict[str, bool]" = OrderedDict()
+
+    def on_insert(self, key: str) -> None:
+        self._ref[key] = False
+
+    def on_access(self, key: str) -> None:
+        if key in self._ref:
+            self._ref[key] = True
+
+    def on_remove(self, key: str) -> None:
+        self._ref.pop(key, None)
+
+    def victim(self) -> Optional[str]:
+        while self._ref:
+            key, referenced = next(iter(self._ref.items()))
+            if not referenced:
+                return key
+            # Second chance: clear the bit and rotate the key to the back.
+            self._ref[key] = False
+            self._ref.move_to_end(key)
+        return None
+
+
+_POLICIES: Dict[str, Type[EvictionPolicy]] = {
+    LRUPolicy.name: LRUPolicy,
+    LFUPolicy.name: LFUPolicy,
+    ClockPolicy.name: ClockPolicy,
+}
+
+
+def available_policies() -> list:
+    """Names of the registered eviction policies."""
+    return sorted(_POLICIES)
+
+
+def get_policy(spec) -> EvictionPolicy:
+    """Resolve a policy spec (name, class, or instance) to a policy object.
+
+    Names and classes produce a fresh instance.  A pre-built instance is
+    returned as-is but may only ever serve **one** cache: policy state is
+    per-cache bookkeeping, and sharing it would let one cache's victims
+    point at keys another cache holds (the eviction loop would then never
+    terminate).  The cache enforces this by marking the instance bound.
+    """
+    if isinstance(spec, EvictionPolicy):
+        if getattr(spec, "_bound_to_cache", False):
+            raise ConfigurationError(
+                "this EvictionPolicy instance already serves another cache; "
+                "pass the policy name or class to get a fresh instance")
+        return spec
+    if isinstance(spec, type) and issubclass(spec, EvictionPolicy):
+        return spec()
+    if isinstance(spec, str):
+        try:
+            return _POLICIES[spec.lower()]()
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown cache policy {spec!r}; "
+                f"available: {available_policies()}") from None
+    raise ConfigurationError(f"invalid cache policy spec {spec!r}")

@@ -28,10 +28,12 @@ from __future__ import annotations
 
 import itertools
 import threading
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..cache.delta_cache import CacheStats, DeltaCache
 from ..errors import ConfigurationError, DeltaGraphIndexError, QueryError
 from ..storage.kvstore import KVStore, make_key
 from ..storage.memory_store import InMemoryKVStore
@@ -61,6 +63,40 @@ __all__ = ["DeltaGraphConfig", "QueryPlan", "DeltaGraph",
 
 #: Components fetched by default (everything except transient events).
 MAIN_COMPONENTS = (COMPONENT_STRUCT, COMPONENT_NODEATTR, COMPONENT_EDGEATTR)
+
+_store_namespace_counter = itertools.count()
+_store_namespace_weak: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+#: Last-resort registry for stores that support neither attribute assignment
+#: nor weak references: holds a strong reference so the id can never be
+#: reused for a different store (a bounded leak beats silently aliased
+#: cache namespaces).
+_store_namespace_pinned: Dict[int, Tuple[KVStore, str]] = {}
+
+
+def _store_namespace(store: KVStore) -> str:
+    """A process-unique token identifying a store's *data* for cache keys.
+
+    A :class:`~repro.cache.delta_cache.DeltaCache` may be shared by several
+    DeltaGraphs; entries are only interchangeable between indexes reading
+    the same store (delta ids like ``evl:0`` repeat across indexes).  The
+    token is stamped onto the store instance so every index over that store
+    lands in the same namespace; stores that reject attributes fall back to
+    registries that stay correct across garbage collection.
+    """
+    token = getattr(store, "_delta_cache_namespace", None)
+    if token is not None:
+        return token
+    token = f"store{next(_store_namespace_counter)}"
+    try:
+        store._delta_cache_namespace = token
+        return token
+    except AttributeError:  # pragma: no cover - slotted store classes
+        pass
+    try:  # pragma: no cover - slotted store classes
+        return _store_namespace_weak.setdefault(store, token)
+    except TypeError:  # pragma: no cover - not weak-referenceable either
+        pinned = _store_namespace_pinned.setdefault(id(store), (store, token))
+        return pinned[1]
 
 
 def split_events_by_component(events: Iterable[Event]) -> Dict[str, List[Event]]:
@@ -124,12 +160,21 @@ class DeltaGraphConfig:
         resolved through :func:`~repro.core.differential.get_differential_function`.
     num_partitions:
         Number of horizontal partitions for stored deltas/eventlists.
+    cache_max_bytes:
+        When positive, the DeltaGraph owns a cross-query
+        :class:`~repro.cache.delta_cache.DeltaCache` of this byte budget
+        (an explicitly passed cache instance takes precedence).  0 disables
+        caching unless a cache is injected.
+    cache_policy:
+        Eviction policy of the owned cache: ``"lru"``, ``"lfu"``, ``"clock"``.
     """
 
     leaf_eventlist_size: int = 1000
     arity: int = 2
     differential_functions: Sequence = ("intersection",)
     num_partitions: int = 1
+    cache_max_bytes: int = 0
+    cache_policy: str = "lru"
 
     def resolved_functions(self) -> List[DifferentialFunction]:
         """The differential functions as instantiated objects."""
@@ -154,6 +199,8 @@ class DeltaGraphConfig:
             raise ConfigurationError("at least one differential function required")
         if self.num_partitions < 1:
             raise ConfigurationError("num_partitions must be >= 1")
+        if self.cache_max_bytes < 0:
+            raise ConfigurationError("cache_max_bytes must be >= 0")
 
 
 @dataclass
@@ -185,10 +232,19 @@ class DeltaGraph:
     """
 
     def __init__(self, store: Optional[KVStore] = None,
-                 config: Optional[DeltaGraphConfig] = None) -> None:
+                 config: Optional[DeltaGraphConfig] = None,
+                 cache: Optional[DeltaCache] = None) -> None:
         self.store = store if store is not None else InMemoryKVStore()
         self.config = config if config is not None else DeltaGraphConfig()
         self.config.validate()
+        if cache is not None:
+            self.cache: Optional[DeltaCache] = cache
+        elif self.config.cache_max_bytes > 0:
+            self.cache = DeltaCache(max_bytes=self.config.cache_max_bytes,
+                                    policy=self.config.cache_policy)
+        else:
+            self.cache = None
+        self._cache_namespace = _store_namespace(self.store)
         self.partitioner = HashPartitioner(self.config.num_partitions)
         self.skeleton = DeltaGraphSkeleton()
         self.aux_indexes: Dict[str, object] = {}
@@ -214,7 +270,10 @@ class DeltaGraph:
               differential_functions: Sequence = ("intersection",),
               num_partitions: int = 1,
               aux_indexes: Optional[Sequence] = None,
-              initial_graph: Optional[GraphSnapshot] = None) -> "DeltaGraph":
+              initial_graph: Optional[GraphSnapshot] = None,
+              cache: Optional[DeltaCache] = None,
+              cache_max_bytes: int = 0,
+              cache_policy: str = "lru") -> "DeltaGraph":
         """Bulk-construct a DeltaGraph from a chronological event trace.
 
         Parameters mirror the paper's construction inputs: the eventlist
@@ -223,13 +282,16 @@ class DeltaGraph:
         space.  ``initial_graph`` seeds ``G_0`` (defaults to the empty graph;
         Dataset 2/3-style traces start from a non-empty snapshot).
         ``aux_indexes`` is a sequence of objects implementing the auxiliary
-        index protocol of :mod:`repro.auxindex.framework`.
+        index protocol of :mod:`repro.auxindex.framework`.  ``cache`` (or the
+        ``cache_max_bytes``/``cache_policy`` knobs) enables the cross-query
+        :class:`~repro.cache.delta_cache.DeltaCache`.
         """
         config = DeltaGraphConfig(
             leaf_eventlist_size=leaf_eventlist_size, arity=arity,
             differential_functions=differential_functions,
-            num_partitions=num_partitions)
-        index = cls(store=store, config=config)
+            num_partitions=num_partitions,
+            cache_max_bytes=cache_max_bytes, cache_policy=cache_policy)
+        index = cls(store=store, config=config, cache=cache)
         index._bulk_load(EventList(events), aux_indexes or [],
                          initial_graph=initial_graph)
         return index
@@ -383,19 +445,23 @@ class DeltaGraph:
                      aux_deltas: Optional[Dict[str, Delta]] = None) -> DeltaStats:
         """Write a delta's columnar, partitioned components to the store."""
         component_sizes: Dict[str, int] = {}
+        items: List[Tuple[str, object]] = []
         parts = self.partitioner.split_delta(delta)
         for partition_id, part in enumerate(parts):
             for component, piece in part.split_components().items():
                 if piece:
-                    self.store.put(make_key(partition_id, delta_id, component),
-                                   piece)
+                    items.append(
+                        (make_key(partition_id, delta_id, component), piece))
         for component, size in delta.component_sizes().items():
             component_sizes[component] = size
         for name, aux_delta in (aux_deltas or {}).items():
             component = f"aux:{name}"
             if aux_delta:
-                self.store.put(make_key(0, delta_id, component), aux_delta)
+                items.append((make_key(0, delta_id, component), aux_delta))
             component_sizes[component] = len(aux_delta)
+        self.store.put_many(items)
+        if self.cache is not None:
+            self.cache.invalidate_group(self._cache_group(delta_id))
         total = sum(component_sizes.values())
         return DeltaStats(component_sizes=component_sizes, total_entries=total)
 
@@ -403,56 +469,212 @@ class DeltaGraph:
                          aux_events: Optional[Dict[str, list]] = None) -> DeltaStats:
         """Write a leaf-eventlist's columnar, partitioned components."""
         component_sizes: Dict[str, int] = {}
+        items: List[Tuple[str, object]] = []
         by_component = split_events_by_component(events)
         for component, component_events in by_component.items():
             component_sizes[component] = len(component_events)
             buckets = self.partitioner.split_events(component_events)
             for partition_id, bucket in enumerate(buckets):
                 if len(bucket):
-                    self.store.put(
-                        make_key(partition_id, eventlist_id, component),
-                        list(bucket))
+                    items.append(
+                        (make_key(partition_id, eventlist_id, component),
+                         list(bucket)))
         for name, events_for_index in (aux_events or {}).items():
             component = f"aux:{name}"
             if events_for_index:
-                self.store.put(make_key(0, eventlist_id, component),
-                               list(events_for_index))
+                items.append((make_key(0, eventlist_id, component),
+                              list(events_for_index)))
             component_sizes[component] = len(events_for_index)
+        self.store.put_many(items)
+        if self.cache is not None:
+            self.cache.invalidate_group(self._cache_group(eventlist_id))
         total = sum(component_sizes.values())
         return DeltaStats(component_sizes=component_sizes, total_entries=total)
 
+    # -- cached reads --------------------------------------------------
+
+    def _cache_key(self, key: str) -> str:
+        """Namespace a storage/assembled key for the shared cache."""
+        return f"{self._cache_namespace}:{key}"
+
+    def _cache_group(self, delta_id: str) -> str:
+        """Namespace an invalidation group for the shared cache."""
+        return f"{self._cache_namespace}:{delta_id}"
+
+    def _load_stored(self, key: str, group: str,
+                     local: Optional[Dict] = None) -> object:
+        """One store value through the caches (missing -> None).
+
+        ``local`` is a per-query scratch mapping (used when no shared cache
+        is configured) that the prefetch pass fills with one batched read.
+        """
+        if local is not None and key in local:
+            return local[key]
+        cache = self.cache
+        if cache is None:
+            value = self.store.get_or_default(key)
+            if local is not None:
+                local[key] = value
+            return value
+        namespaced = self._cache_key(key)
+        found, value = cache.lookup(namespaced)
+        if not found:
+            value = self.store.get_or_default(key)
+            cache.put(namespaced, value, group=self._cache_group(group))
+        return value
+
+    @staticmethod
+    def _assembled_key(kind: str, delta_id: str, components: Sequence[str],
+                       partitions: Sequence[int]) -> str:
+        """Cache key of a fully merged delta/eventlist.
+
+        Distinct from raw storage keys, which always start with a partition
+        number; one assembled entry covers a whole (components, partitions)
+        combination and skips the per-query merge work when warm.
+        """
+        return (f"assembled-{kind}/{delta_id}/{','.join(components)}"
+                f"/{','.join(map(str, partitions))}")
+
     def _fetch_delta(self, delta_id: str, components: Sequence[str],
-                     partitions: Optional[Sequence[int]] = None) -> Delta:
-        """Read and merge the requested delta components from the store."""
-        partitions = (range(self.config.num_partitions)
-                      if partitions is None else partitions)
+                     partitions: Optional[Sequence[int]] = None,
+                     local: Optional[Dict] = None) -> Delta:
+        """Read and merge the requested delta components (cache first)."""
+        part_list = list(range(self.config.num_partitions)
+                         if partitions is None else partitions)
+        cache = self.cache
+        assembled_key = None
+        if cache is not None:
+            assembled_key = self._cache_key(self._assembled_key(
+                "delta", delta_id, components, part_list))
+            found, value = cache.lookup(assembled_key)
+            if found:
+                return value
         pieces: List[Delta] = []
-        for partition_id in partitions:
+        raw_keys: List[str] = []
+        for partition_id in part_list:
             for component in components:
-                piece = self.store.get_or_default(
-                    make_key(partition_id, delta_id, component))
+                key = make_key(partition_id, delta_id, component)
+                raw_keys.append(key)
+                piece = self._load_stored(key, delta_id, local)
                 if piece is not None:
                     pieces.append(piece)
-        return Delta.merge_components(pieces) if pieces else Delta.empty()
+        merged = Delta.merge_components(pieces) if pieces else Delta.empty()
+        if cache is not None:
+            if cache.put(assembled_key, merged,
+                         group=self._cache_group(delta_id)):
+                # The assembled entry supersedes the raw pieces it consumed;
+                # keeping both would charge the byte budget twice per delta.
+                # A different (components, partitions) combination re-fetches
+                # its pieces through the batched prefetch path.
+                for key in raw_keys:
+                    cache.discard(self._cache_key(key))
+        return merged
 
     def _fetch_events(self, eventlist_id: str, components: Sequence[str],
-                      partitions: Optional[Sequence[int]] = None) -> List[Event]:
-        """Read and merge the requested eventlist components from the store."""
-        partitions = (range(self.config.num_partitions)
-                      if partitions is None else partitions)
+                      partitions: Optional[Sequence[int]] = None,
+                      local: Optional[Dict] = None) -> List[Event]:
+        """Read and merge the requested eventlist components (cache first)."""
+        part_list = list(range(self.config.num_partitions)
+                         if partitions is None else partitions)
+        cache = self.cache
+        assembled_key = None
+        if cache is not None:
+            assembled_key = self._cache_key(self._assembled_key(
+                "events", eventlist_id, components, part_list))
+            found, value = cache.lookup(assembled_key)
+            if found:
+                return value
         merged: List[Event] = []
-        for partition_id in partitions:
+        raw_keys: List[str] = []
+        for partition_id in part_list:
             for component in components:
-                piece = self.store.get_or_default(
-                    make_key(partition_id, eventlist_id, component))
+                key = make_key(partition_id, eventlist_id, component)
+                raw_keys.append(key)
+                piece = self._load_stored(key, eventlist_id, local)
                 if piece:
                     merged.extend(piece)
         merged.sort(key=lambda e: e.time)
+        if cache is not None:
+            if cache.put(assembled_key, merged,
+                         group=self._cache_group(eventlist_id)):
+                # Superseded by the assembled entry (see _fetch_delta).
+                for key in raw_keys:
+                    cache.discard(self._cache_key(key))
         return merged
 
-    def _fetch_aux_delta(self, delta_id: str, component: str):
+    def _fetch_aux_delta(self, delta_id: str, component: str,
+                         local: Optional[Dict] = None):
         """Read one auxiliary component (stored unpartitioned)."""
-        return self.store.get_or_default(make_key(0, delta_id, component))
+        return self._load_stored(make_key(0, delta_id, component), delta_id,
+                                 local)
+
+    # ==================================================================
+    # plan prefetch
+    # ==================================================================
+
+    def _prefetch_steps(self, steps: Sequence[PlanStep],
+                        components: Sequence[str],
+                        partitions: Optional[Sequence[int]] = None,
+                        local: Optional[Dict] = None) -> int:
+        """Batch-load every unresident storage key a plan may touch.
+
+        Walks the plan up front, collects the (partition, delta_id,
+        component) keys that are not already resident, and issues one
+        :meth:`~repro.storage.kvstore.KVStore.get_many_or_default` for all of
+        them — on a :class:`~repro.storage.disk_store.DiskKVStore` this is a
+        single offset-sorted sweep of the data file instead of one random
+        read per key.  Fetched values land in the shared cache when one is
+        configured, otherwise in ``local``, the per-query scratch mapping
+        the executor passes to the fetch helpers — so cacheless deployments
+        still get the batched read path.  Returns the number of keys fetched.
+        """
+        cache = self.cache
+        if cache is None and local is None:
+            return 0
+        part_list = list(range(self.config.num_partitions)
+                         if partitions is None else partitions)
+        needed: List[Tuple[str, str]] = []  # (storage key, owning group)
+        seen: set = set()
+        for step in steps:
+            edge = step.edge
+            delta_id = edge.delta_id
+            if edge.kind == EdgeKind.MATERIALIZED or not delta_id:
+                continue
+            if delta_id in seen:
+                continue
+            seen.add(delta_id)
+            kind = "delta" if edge.kind == EdgeKind.DELTA else "events"
+            if cache is not None and cache.contains(self._cache_key(
+                    self._assembled_key(kind, delta_id, components,
+                                        part_list))):
+                continue
+            for partition_id in part_list:
+                for component in components:
+                    key = make_key(partition_id, delta_id, component)
+                    if cache is not None:
+                        resident = cache.contains(self._cache_key(key))
+                    else:
+                        resident = key in local
+                    if not resident:
+                        needed.append((key, delta_id))
+        if not needed:
+            return 0
+        values = self.store.get_many_or_default([key for key, _ in needed])
+        for (key, group), value in zip(needed, values):
+            if cache is not None:
+                cache.put(self._cache_key(key), value,
+                          group=self._cache_group(group))
+            else:
+                local[key] = value
+        return len(needed)
+
+    def set_cache(self, cache: Optional[DeltaCache]) -> None:
+        """Install (or remove, with ``None``) the shared cross-query cache."""
+        self.cache = cache
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Counters of the attached cache (``None`` when caching is off)."""
+        return self.cache.stats() if self.cache is not None else None
 
     # ==================================================================
     # query planning
@@ -518,8 +740,12 @@ class DeltaGraph:
 
         ``step.forward`` false means the edge is traversed against its stored
         direction: deltas are inverted, eventlists replayed backward, and a
-        partial (virtual) replay is undone.
+        partial (virtual) replay is undone.  ``delta_cache`` is the per-query
+        scratch: merged payloads under ``(delta_id, is_delta)`` tuples and —
+        when no shared cache is configured — prefetched raw store values
+        under their plain string storage keys.
         """
+        local = delta_cache if self.cache is None else None
         edge = step.edge
         if edge.kind == EdgeKind.MATERIALIZED:
             base = self._materialized[edge.target]
@@ -528,14 +754,14 @@ class DeltaGraph:
             cache_key = (edge.delta_id, True)
             if cache_key not in delta_cache:
                 delta_cache[cache_key] = self._fetch_delta(
-                    edge.delta_id, components, partitions)
+                    edge.delta_id, components, partitions, local)
             delta: Delta = delta_cache[cache_key]
             return (delta if step.forward else delta.invert()).apply(snapshot)
         if edge.kind == EdgeKind.EVENTLIST:
             cache_key = (edge.delta_id, False)
             if cache_key not in delta_cache:
                 delta_cache[cache_key] = self._fetch_events(
-                    edge.delta_id, components, partitions)
+                    edge.delta_id, components, partitions, local)
             events: List[Event] = delta_cache[cache_key]
             snapshot.apply_events(events, forward=step.forward)
             return snapshot
@@ -543,7 +769,7 @@ class DeltaGraph:
             cache_key = (edge.delta_id, False)
             if cache_key not in delta_cache:
                 delta_cache[cache_key] = self._fetch_events(
-                    edge.delta_id, components, partitions)
+                    edge.delta_id, components, partitions, local)
             events = delta_cache[cache_key]
             time = edge.virtual_time
             if edge.direction == "forward":
@@ -559,7 +785,9 @@ class DeltaGraph:
                              partitions: Optional[Sequence[int]] = None
                              ) -> GraphSnapshot:
         snapshot = GraphSnapshot.empty(time=time)
-        delta_cache: Dict[Tuple[str, bool], object] = {}
+        delta_cache: Dict = {}
+        self._prefetch_steps(plan.steps, plan.components, partitions,
+                             local=delta_cache)
         for step in plan.steps:
             snapshot = self._apply_step(snapshot, step, plan.components,
                                         delta_cache, partitions)
@@ -643,7 +871,8 @@ class DeltaGraph:
             adjacency.setdefault(step.to_node, []).append(
                 PlanStep(step.edge, not step.forward))
         results: Dict[str, GraphSnapshot] = {}
-        delta_cache: Dict[Tuple[str, bool], object] = {}
+        delta_cache: Dict = {}
+        self._prefetch_steps(steps, components, partitions, local=delta_cache)
         working = GraphSnapshot.empty()
         visited: set = set()
 
@@ -715,6 +944,7 @@ class DeltaGraph:
         if include_transient and COMPONENT_TRANSIENT not in components:
             components.append(COMPONENT_TRANSIENT)
         snapshot = GraphSnapshot.empty()
+        covering: List[SkeletonEdge] = []
         for edge in self.skeleton.eventlist_edges():
             left_time = self.skeleton.nodes[edge.source].time
             right_time = self.skeleton.nodes[edge.target].time
@@ -722,7 +952,13 @@ class DeltaGraph:
                 continue
             if left_time is not None and left_time >= end:
                 break
-            events = self._fetch_events(edge.delta_id, components)
+            covering.append(edge)
+        scratch: Dict = {}
+        self._prefetch_steps([PlanStep(edge, True) for edge in covering],
+                             components, local=scratch)
+        for edge in covering:
+            events = self._fetch_events(edge.delta_id, components,
+                                        local=scratch)
             for event in events:
                 if not start <= event.time < end:
                     continue
@@ -778,6 +1014,10 @@ class DeltaGraph:
                     allow_materialized=False)
             finally:
                 self.skeleton.remove_node(virtual.id)
+        # Aux components are stored unpartitioned (partition 0 only).
+        scratch: Dict = {}
+        self._prefetch_steps(steps, [component], partitions=[0],
+                             local=scratch)
         state = aux.initial_snapshot()
         for step in steps:
             edge = step.edge
@@ -788,12 +1028,14 @@ class DeltaGraph:
                 # data would be wrong).  Skip defensively.
                 continue
             if edge.kind == EdgeKind.DELTA:
-                aux_delta = self._fetch_aux_delta(edge.delta_id, component)
+                aux_delta = self._fetch_aux_delta(edge.delta_id, component,
+                                                  scratch)
                 if aux_delta is not None:
                     state = aux.apply_delta(state, aux_delta,
                                             forward=step.forward)
             elif edge.kind in (EdgeKind.EVENTLIST, EdgeKind.VIRTUAL):
-                aux_events = self._fetch_aux_delta(edge.delta_id, component) or []
+                aux_events = self._fetch_aux_delta(edge.delta_id, component,
+                                                   scratch) or []
                 if edge.kind == EdgeKind.VIRTUAL:
                     if edge.direction == "forward":
                         aux_events = [e for e in aux_events if e.time <= time]
@@ -825,7 +1067,9 @@ class DeltaGraph:
             cost, steps = self.skeleton.shortest_path(SUPER_ROOT_ID, node_id,
                                                       None)
             snapshot = GraphSnapshot.empty()
-            delta_cache: Dict[Tuple[str, bool], object] = {}
+            delta_cache: Dict = {}
+            self._prefetch_steps(steps, list(MAIN_COMPONENTS),
+                                 local=delta_cache)
             for step in steps:
                 snapshot = self._apply_step(snapshot, step,
                                             list(MAIN_COMPONENTS),
@@ -985,8 +1229,10 @@ class DeltaGraph:
 
     def describe(self) -> str:
         """Human-readable one-line summary of the index."""
+        cache = (f"cache={self.cache.policy_name}/{self.cache.max_bytes}B"
+                 if self.cache is not None else "cache=off")
         return (f"DeltaGraph(L={self.config.leaf_eventlist_size}, "
                 f"k={self.config.arity}, "
                 f"functions={[f.name for f in self.config.resolved_functions()]}, "
-                f"partitions={self.config.num_partitions}, "
+                f"partitions={self.config.num_partitions}, {cache}, "
                 f"{self.skeleton.describe()})")

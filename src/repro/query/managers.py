@@ -10,16 +10,43 @@ API:
   also the facade analysis code talks to (``get_hist_graph`` & friends);
 * :class:`QueryManager` — translates external references (user ids) to
   internal node ids and back using a lookup table.
+
+Both managers accept a shared
+:class:`~repro.cache.delta_cache.DeltaCache`, which they install on the
+underlying index so every retrieval — singlepoint, multipoint, interval,
+materialization — reuses deltas fetched by earlier queries.  Managers built
+over the same :class:`~repro.graphpool.pool.GraphPool` share the pool's
+cache automatically.
+
+Usage
+-----
+The typical analyst session is three lines of setup followed by queries::
+
+    from repro.cache import DeltaCache
+    from repro.query.managers import GraphManager
+
+    gm = GraphManager.load(events, leaf_eventlist_size=1000, arity=4,
+                           cache=DeltaCache(max_bytes=64 << 20))
+    g1 = gm.get_hist_graph(t, "+node:all")       # singlepoint, attributes
+    series = gm.get_hist_graphs([t1, t2, t3])    # one multipoint plan
+    print(gm.cache_stats())                      # hits / misses / evictions
+    for g in series:
+        gm.release(g)
+    gm.cleanup()
+
+``get_hist_graph`` returns :class:`~repro.graphpool.histgraph.HistGraph`
+views backed by the pool; release them when the analysis is done.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..cache.delta_cache import CacheStats, DeltaCache
 from ..core.deltagraph import DeltaGraph
 from ..core.events import Event, EventList
 from ..core.snapshot import GraphSnapshot
-from ..errors import QueryError
+from ..errors import ConfigurationError, QueryError
 from ..graphpool.histgraph import HistGraph
 from ..graphpool.pool import GraphPool
 from ..storage.kvstore import KVStore
@@ -30,17 +57,41 @@ __all__ = ["HistoryManager", "GraphManager", "QueryManager"]
 
 
 class HistoryManager:
-    """Manages the DeltaGraph index: construction, planning, disk I/O."""
+    """Manages the DeltaGraph index: construction, planning, disk I/O.
 
-    def __init__(self, index: DeltaGraph) -> None:
+    ``cache`` installs a shared cross-query
+    :class:`~repro.cache.delta_cache.DeltaCache` on the index; pass the same
+    instance to several managers (or serve them from one
+    :class:`GraphManager` pool) to share fetched deltas between them.
+    """
+
+    def __init__(self, index: DeltaGraph,
+                 cache: Optional[DeltaCache] = None) -> None:
         self.index = index
+        if cache is not None:
+            index.set_cache(cache)
 
     @classmethod
     def build_index(cls, events: Iterable[Event], store: Optional[KVStore] = None,
                     **construction_parameters) -> "HistoryManager":
-        """Construct a DeltaGraph from an event trace (Section 4.6)."""
+        """Construct a DeltaGraph from an event trace (Section 4.6).
+
+        ``construction_parameters`` are forwarded to
+        :meth:`DeltaGraph.build <repro.core.deltagraph.DeltaGraph.build>` and
+        include the cache knobs (``cache``, ``cache_max_bytes``,
+        ``cache_policy``).
+        """
         return cls(DeltaGraph.build(events, store=store,
                                     **construction_parameters))
+
+    @property
+    def cache(self) -> Optional[DeltaCache]:
+        """The index's cross-query delta cache (``None`` when disabled)."""
+        return self.index.cache
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Hit/miss/eviction counters of the shared cache."""
+        return self.index.cache_stats()
 
     def retrieve(self, time: int, attr_filter: AttributeFilter) -> GraphSnapshot:
         """Retrieve a single snapshot honouring the attribute filter."""
@@ -81,9 +132,36 @@ class GraphManager:
     """
 
     def __init__(self, index: DeltaGraph,
-                 pool: Optional[GraphPool] = None) -> None:
-        self.history = HistoryManager(index)
+                 pool: Optional[GraphPool] = None,
+                 cache: Optional[DeltaCache] = None) -> None:
+        # Shared-cache resolution: an explicit cache, else the (possibly
+        # shared) pool's, else the index's own.  Every manager over one pool
+        # must end up on the same cache — that is the pool's whole promise —
+        # so the pool's cache is only filled when empty, and *any* distinct
+        # second cache (explicit argument or one already configured on the
+        # index) is an error rather than a silent replacement of somebody's
+        # warm cache.
         self.pool = pool if pool is not None else GraphPool()
+        pool_cache = self.pool.delta_cache
+        for candidate, origin in ((cache, "cache argument"),
+                                  (index.cache, "index's own cache")):
+            if (candidate is not None and pool_cache is not None
+                    and candidate is not pool_cache):
+                raise ConfigurationError(
+                    f"the GraphPool already has a different delta_cache than "
+                    f"the {origin}; managers sharing a pool must share its "
+                    f"cache (build the index without cache knobs, or attach "
+                    f"this cache to the pool instead)")
+        # Explicit None checks: an *empty* DeltaCache is falsy (__len__), so
+        # `or`-chaining would skip a perfectly good cache that has no
+        # entries yet.
+        if cache is None:
+            cache = pool_cache
+        if cache is None:
+            cache = index.cache
+        if cache is not None and self.pool.delta_cache is None:
+            self.pool.delta_cache = cache
+        self.history = HistoryManager(index, cache=cache)
         self.pool.set_current(index.current_graph())
         self._active: Dict[int, HistGraph] = {}
 
@@ -94,7 +172,12 @@ class GraphManager:
     @classmethod
     def load(cls, events: Iterable[Event], store: Optional[KVStore] = None,
              **construction_parameters) -> "GraphManager":
-        """Build the DeltaGraph index and wrap it in a manager."""
+        """Build the DeltaGraph index and wrap it in a manager.
+
+        ``construction_parameters`` reach
+        :meth:`DeltaGraph.build <repro.core.deltagraph.DeltaGraph.build>`,
+        including the ``cache``/``cache_max_bytes``/``cache_policy`` knobs.
+        """
         manager = HistoryManager.build_index(events, store=store,
                                              **construction_parameters)
         return cls(manager.index)
@@ -103,6 +186,15 @@ class GraphManager:
     def index(self) -> DeltaGraph:
         """The underlying DeltaGraph index."""
         return self.history.index
+
+    @property
+    def cache(self) -> Optional[DeltaCache]:
+        """The shared cross-query delta cache (``None`` when disabled)."""
+        return self.history.cache
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Hit/miss/eviction counters of the shared cache."""
+        return self.history.cache_stats()
 
     # ------------------------------------------------------------------
     # snapshot queries (paper Section 3.2.1)

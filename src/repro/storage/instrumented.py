@@ -13,7 +13,7 @@ from __future__ import annotations
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from .kvstore import KVStore, StorageKey
 
@@ -32,6 +32,11 @@ class SimulatedLatencyModel:
     per_get: float = 0.0002
     per_byte: float = 2e-8
     per_put: float = 0.0002
+    #: Per-key overhead inside a *batched* read: an offset-sorted batch pays
+    #: the seek-like ``per_get`` once plus this much per key, modelling the
+    #: sequential sweep a :class:`~repro.storage.disk_store.DiskKVStore`
+    #: batch performs (default: a tenth of a full random get).
+    per_batch_key: float = 2e-5
     sleep: bool = False
 
     def get_cost(self, nbytes: int) -> float:
@@ -41,6 +46,12 @@ class SimulatedLatencyModel:
     def put_cost(self, nbytes: int) -> float:
         """Simulated cost of writing ``nbytes`` to the store."""
         return self.per_put + nbytes * self.per_byte
+
+    def batch_get_cost(self, num_keys: int, nbytes: int) -> float:
+        """Simulated cost of one offset-sorted batched read of ``num_keys``."""
+        if num_keys <= 0:
+            return 0.0
+        return self.per_get + num_keys * self.per_batch_key + nbytes * self.per_byte
 
 
 @dataclass
@@ -53,6 +64,9 @@ class IOStats:
     bytes_written: int = 0
     simulated_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: Number of batched multi-key reads (each also counts its keys in
+    #: ``gets``), so callers can tell "N point reads" from "one N-key sweep".
+    batch_gets: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -62,19 +76,21 @@ class IOStats:
         self.bytes_written = 0
         self.simulated_seconds = 0.0
         self.wall_seconds = 0.0
+        self.batch_gets = 0
 
     def snapshot(self) -> "IOStats":
         """A copy of the current counters."""
         return IOStats(self.gets, self.puts, self.bytes_read,
                        self.bytes_written, self.simulated_seconds,
-                       self.wall_seconds)
+                       self.wall_seconds, self.batch_gets)
 
     def __sub__(self, other: "IOStats") -> "IOStats":
         return IOStats(self.gets - other.gets, self.puts - other.puts,
                        self.bytes_read - other.bytes_read,
                        self.bytes_written - other.bytes_written,
                        self.simulated_seconds - other.simulated_seconds,
-                       self.wall_seconds - other.wall_seconds)
+                       self.wall_seconds - other.wall_seconds,
+                       self.batch_gets - other.batch_gets)
 
 
 def _approx_size(value: object) -> int:
@@ -131,6 +147,60 @@ class InstrumentedKVStore(KVStore):
             if self.latency.sleep:
                 time.sleep(cost)
         self.stats.wall_seconds += time.perf_counter() - start
+
+    def _account_batch(self, start: float, count: int, nbytes: int,
+                       cost: float, read: bool) -> None:
+        """Shared bookkeeping for one batched operation."""
+        if read:
+            self.stats.gets += count
+            self.stats.batch_gets += 1
+            self.stats.bytes_read += nbytes
+        else:
+            self.stats.puts += count
+            self.stats.bytes_written += nbytes
+        if self.latency is not None and count:
+            self.stats.simulated_seconds += cost
+            if self.latency.sleep:
+                time.sleep(cost)
+        self.stats.wall_seconds += time.perf_counter() - start
+
+    def _batch_get_cost(self, count: int, nbytes: int) -> float:
+        if self.latency is None or not count:
+            return 0.0
+        return self.latency.batch_get_cost(count, nbytes)
+
+    def get_many_or_default(self, keys: Iterable[StorageKey],
+                            default: object = None) -> List[object]:
+        """Batched read, delegated to the inner store's batched path."""
+        key_list = list(keys)
+        start = time.perf_counter()
+        values = self.inner.get_many_or_default(key_list, default)
+        nbytes = sum(_approx_size(v) for v in values if v is not default)
+        self._account_batch(start, len(key_list), nbytes,
+                            self._batch_get_cost(len(key_list), nbytes),
+                            read=True)
+        return values
+
+    def get_many(self, keys: Iterable[StorageKey]) -> Iterator[object]:
+        """Batched read, delegated to the inner store's batched path."""
+        key_list = list(keys)
+        start = time.perf_counter()
+        values = list(self.inner.get_many(key_list))
+        nbytes = sum(_approx_size(v) for v in values)
+        self._account_batch(start, len(key_list), nbytes,
+                            self._batch_get_cost(len(key_list), nbytes),
+                            read=True)
+        return iter(values)
+
+    def put_many(self, items: Iterable[Tuple[StorageKey, object]]) -> None:
+        """Batched write, delegated to the inner store's batched path."""
+        item_list = list(items)
+        start = time.perf_counter()
+        self.inner.put_many(item_list)
+        nbytes = sum(_approx_size(v) for _k, v in item_list)
+        cost = (self.latency.put_cost(nbytes)
+                if self.latency is not None and item_list else 0.0)
+        self._account_batch(start, len(item_list), nbytes, cost, read=False)
 
     def delete(self, key: StorageKey) -> None:
         self.inner.delete(key)

@@ -5,12 +5,35 @@ stresses that only a simple get/put interface is required so that other
 backends (HBase, Cassandra, ...) can be plugged in.  This module defines that
 interface plus the key scheme ``(partition_id, delta_id, component)`` used to
 address columnar delta components (Section 4.2).
+
+Besides single-key ``get``/``put``, the interface exposes batched variants
+(:meth:`KVStore.get_many`, :meth:`KVStore.get_many_or_default`,
+:meth:`KVStore.put_many`).  The base class implements them as plain loops so
+every backend works out of the box, but I/O-aware backends override them —
+:class:`~repro.storage.disk_store.DiskKVStore` sorts a batch by file offset
+and reads sequentially, which is what the DeltaGraph's plan-prefetch pass
+relies on to turn a retrieval plan's many point reads into one sweep.
+
+Usage
+-----
+Pick a backend, address payloads with :func:`make_key`, and hand the store to
+:meth:`DeltaGraph.build <repro.core.deltagraph.DeltaGraph.build>`::
+
+    from repro.storage import DiskKVStore, make_key
+
+    with DiskKVStore("/tmp/index.db") as store:
+        store.put(make_key(0, "delta:root:leaf:3", "struct"), delta_piece)
+        piece = store.get(make_key(0, "delta:root:leaf:3", "struct"))
+        pieces = list(store.get_many([...]))   # offset-sorted batch read
+
+Values are arbitrary picklable objects; each backend chooses serialization
+(the disk store applies zlib compression, mirroring Kyoto Cabinet).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import KeyNotFoundError
 
@@ -93,9 +116,24 @@ class KVStore(ABC):
             self.put(key, value)
 
     def get_many(self, keys: Iterable[StorageKey]) -> Iterator[object]:
-        """Yield values for several keys (raising on the first missing one)."""
+        """Yield values for several keys, in key order.
+
+        Raises :class:`~repro.errors.KeyNotFoundError` on the first missing
+        key.  Backends with a physical layout override this with a batched
+        implementation (see :class:`~repro.storage.disk_store.DiskKVStore`).
+        """
         for key in keys:
             yield self.get(key)
+
+    def get_many_or_default(self, keys: Iterable[StorageKey],
+                            default: object = None) -> List[object]:
+        """Values for several keys, in key order, ``default`` where missing.
+
+        This is the batch entry point of the DeltaGraph's plan-prefetch pass:
+        a retrieval plan probes every (partition, component) key it may need,
+        and empty pieces were never written, so missing keys are expected.
+        """
+        return [self.get_or_default(key, default) for key in keys]
 
     def size(self) -> int:
         """Number of stored keys."""

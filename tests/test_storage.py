@@ -74,6 +74,33 @@ class StoreContract:
         assert store.size() == 3
         assert list(store.get_many(["a", "c"])) == [1, 3]
 
+    def test_get_many_preserves_key_order(self, tmp_path):
+        store = self.make_store(tmp_path)
+        store.put_many([(f"k{i}", i) for i in range(10)])
+        # Request in an order unrelated to insertion (and thus file offset).
+        keys = ["k7", "k0", "k3", "k9", "k3", "k1"]
+        assert list(store.get_many(keys)) == [7, 0, 3, 9, 3, 1]
+
+    def test_get_many_missing_key_raises(self, tmp_path):
+        store = self.make_store(tmp_path)
+        store.put("a", 1)
+        with pytest.raises(KeyNotFoundError):
+            list(store.get_many(["a", "missing"]))
+
+    def test_get_many_or_default_fills_gaps_in_order(self, tmp_path):
+        store = self.make_store(tmp_path)
+        store.put_many([("a", 1), ("c", 3)])
+        assert store.get_many_or_default(["a", "b", "c", "d"]) == \
+            [1, None, 3, None]
+        assert store.get_many_or_default(["x", "a"], default=-1) == [-1, 1]
+        assert store.get_many_or_default([]) == []
+
+    def test_get_many_sees_overwrites(self, tmp_path):
+        store = self.make_store(tmp_path)
+        store.put("a", "old")
+        store.put_many([("a", "new"), ("b", 2)])
+        assert list(store.get_many(["a", "b"])) == ["new", 2]
+
 
 class TestInMemoryStore(StoreContract):
     def make_store(self, tmp_path):
@@ -126,6 +153,33 @@ class TestDiskStore(StoreContract):
             store.put("a", 1)
         assert DiskKVStore(path).get("a") == 1
 
+    def test_put_many_single_write_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "batchput.db")
+        store = DiskKVStore(path)
+        store.put_many([(f"k{i}", {"i": i, "pad": "x" * i}) for i in range(50)])
+        store.put_many([])  # no-op batch
+        store.close()
+        reopened = DiskKVStore(path)
+        assert reopened.get("k0") == {"i": 0, "pad": ""}
+        assert reopened.get("k49") == {"i": 49, "pad": "x" * 49}
+        assert len(reopened) == 50
+        reopened.close()
+
+    def test_batched_reads_interleave_with_appends(self, tmp_path):
+        """get_many works after puts/deletes change offsets mid-stream."""
+        store = DiskKVStore(str(tmp_path / "interleave.db"))
+        store.put_many([("a", 1), ("b", 2)])
+        store.put("a", 100)            # moves a's record to a later offset
+        store.delete("b")
+        store.put_many([("c", 3)])
+        assert store.get_many_or_default(["a", "b", "c"]) == [100, None, 3]
+        assert list(store.get_many(["c", "a"])) == [3, 100]
+        # A subsequent single-key get must still work (file position sane).
+        assert store.get("a") == 100
+        store.put("d", 4)
+        assert store.get("d") == 4
+        store.close()
+
 
 class TestInstrumentedStore:
     def test_counts_gets_puts_and_bytes(self):
@@ -163,3 +217,29 @@ class TestInstrumentedStore:
         assert list(store.keys()) == ["a"]
         store.delete("a")
         assert not store.contains("a")
+
+    def test_batched_reads_counted_once(self):
+        store = InstrumentedKVStore(InMemoryKVStore())
+        store.put_many([("a", 1), ("b", 2)])
+        assert store.stats.puts == 2
+        values = store.get_many_or_default(["a", "b", "missing"])
+        assert values == [1, 2, None]
+        assert store.stats.gets == 3
+        assert store.stats.batch_gets == 1
+        assert list(store.get_many(["b"])) == [2]
+        assert store.stats.batch_gets == 2
+
+    def test_batch_latency_model_amortizes_seek(self):
+        model = SimulatedLatencyModel(per_get=0.01, per_batch_key=0.001,
+                                      per_byte=0.0, sleep=False)
+        store = InstrumentedKVStore(InMemoryKVStore(), latency=model)
+        store.put_many([(f"k{i}", i) for i in range(10)])
+        store.reset_stats()
+        store.get_many_or_default([f"k{i}" for i in range(10)])
+        batched = store.stats.simulated_seconds
+        assert batched == pytest.approx(0.01 + 10 * 0.001)
+        store.reset_stats()
+        for i in range(10):
+            store.get(f"k{i}")
+        assert store.stats.simulated_seconds == pytest.approx(10 * 0.01)
+        assert batched < store.stats.simulated_seconds
