@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench check lint examples clean
+.PHONY: test bench check lint examples profile clean
 
 ## Unit tests only (fast, ~15 s)
 test:
@@ -26,6 +26,10 @@ lint:
 		echo "ruff not installed; running compileall instead"; \
 		$(PYTHON) -m compileall -q -f src tests benchmarks examples; \
 	fi
+
+## cProfile the fig6 retrieval workload (top-25 cumulative)
+profile:
+	$(PYTHON) benchmarks/profile_retrieval.py
 
 ## Run every example end-to-end
 examples:

@@ -1,0 +1,60 @@
+"""cProfile harness for the Figure 6 retrieval workload (``make profile``).
+
+Builds the Dataset 1 analogue at the fig6 configuration (leaf size 750,
+arity 4, intersection), runs the 25-query singlepoint sweep plus one
+8-point multipoint query, and prints the top cumulative-time entries — the
+quickest way to see where retrieval time goes after a data-layer change.
+
+Environment knobs:
+
+``REPRO_BENCH_EVENTS``   trace size (default 12000, like the benchmarks)
+``REPRO_PROFILE_TOP``    rows to print (default 25)
+``REPRO_PROFILE_CODEC``  store codec: packed (default), compressed, pickle
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+
+from repro.core.deltagraph import DeltaGraph
+from repro.datasets.coauthorship import (
+    CoauthorshipConfig,
+    generate_coauthorship_trace,
+)
+from repro.storage.compression import resolve_codec
+from repro.storage.memory_store import InMemoryKVStore
+
+EVENTS = int(os.environ.get("REPRO_BENCH_EVENTS", "12000"))
+TOP = int(os.environ.get("REPRO_PROFILE_TOP", "25"))
+CODEC = os.environ.get("REPRO_PROFILE_CODEC", "packed")
+
+
+def main() -> None:
+    events = generate_coauthorship_trace(CoauthorshipConfig(
+        total_events=EVENTS, num_years=40, attrs_per_node=5, seed=7))
+    store = InMemoryKVStore(codec=resolve_codec(CODEC))
+    index = DeltaGraph.build(events, store=store, leaf_eventlist_size=750,
+                             arity=4,
+                             differential_functions=("intersection",))
+    start, end = events.start_time, events.end_time
+    times = [start + (end - start) * (i + 1) // 26 for i in range(25)]
+    leaf_times = [leaf.time for leaf in index.skeleton.leaves()]
+    multipoint = leaf_times[-9:-1]
+
+    def workload() -> None:
+        for t in times:
+            index.get_snapshot(t)
+        index.get_snapshots(multipoint)
+
+    print(f"profiling fig6 retrieval: {EVENTS} events, codec={CODEC}, "
+          f"{len(times)} singlepoint + {len(multipoint)}-point multipoint")
+    profiler = cProfile.Profile()
+    profiler.runcall(workload)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(TOP)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+"""Snapshot fast path: packed-codec byte savings and COW multipoint sharing.
+
+Unlike the figure benchmarks, everything here is **operation-count based**:
+decoded payload bytes come from a counting codec, element-level mutation
+counts from :data:`repro.core.snapshot.COUNTERS`.  The workload is seeded,
+so the numbers are deterministic and the assertions cannot flake on a
+loaded single-core CI box (wall-clock assertions here have historically).
+
+Three claims are checked on the Figure 6 Dataset 1 workload (leaf size 750,
+arity 4, intersection):
+
+* the packed columnar codec reads at least 2x fewer encoded bytes than
+  pickle+zlib over the 25-query retrieval sweep,
+* an 8-point multipoint query performs no more element-level mutations than
+  1.25x the most expensive of the 8 corresponding singlepoint chains (the
+  copy-on-write executor applies each shared delta once instead of
+  copy+undo per terminal),
+* ``copy()`` of a 10k-element snapshot allocates no element entries until
+  the first write.
+"""
+
+from __future__ import annotations
+
+from repro.core.deltagraph import DeltaGraph
+from repro.core.snapshot import COUNTERS, GraphSnapshot
+from repro.storage.compression import CompressedCodec, CountingCodec
+from repro.storage.instrumented import InstrumentedKVStore
+from repro.storage.memory_store import InMemoryKVStore
+from repro.storage.packed import PackedCodec
+
+LEAF_SIZE = 750
+ARITY = 4
+
+
+def build_instrumented(events, codec):
+    counting = CountingCodec(codec)
+    store = InstrumentedKVStore(InMemoryKVStore(codec=counting))
+    index = DeltaGraph.build(events, store=store,
+                             leaf_eventlist_size=LEAF_SIZE, arity=ARITY,
+                             differential_functions=("intersection",))
+    return index, store, counting
+
+
+def test_packed_codec_halves_decoded_bytes(recorder, dataset1,
+                                           query_times_dataset1):
+    packed_index, packed_store, packed_codec = build_instrumented(
+        dataset1, PackedCodec())
+    pickle_index, pickle_store, pickle_codec = build_instrumented(
+        dataset1, CompressedCodec())
+    stored_packed = packed_codec.encoded_bytes
+    stored_pickle = pickle_codec.encoded_bytes
+    packed_codec.reset()
+    pickle_codec.reset()
+    packed_series, pickle_series = [], []
+    for t in query_times_dataset1:
+        before = packed_codec.decoded_bytes
+        packed_snapshot = packed_index.get_snapshot(t)
+        packed_series.append(packed_codec.decoded_bytes - before)
+        before = pickle_codec.decoded_bytes
+        pickle_snapshot = pickle_index.get_snapshot(t)
+        pickle_series.append(pickle_codec.decoded_bytes - before)
+        assert packed_snapshot == pickle_snapshot, f"mismatch at t={t}"
+    read_ratio = pickle_codec.decoded_bytes / packed_codec.decoded_bytes
+    stored_ratio = stored_pickle / stored_packed
+    recorder("fastpath_codec_bytes", {
+        "query_times": query_times_dataset1,
+        "decoded_bytes_packed": packed_series,
+        "decoded_bytes_pickle_zlib": pickle_series,
+        "total_decoded_packed": packed_codec.decoded_bytes,
+        "total_decoded_pickle_zlib": pickle_codec.decoded_bytes,
+        "stored_bytes_packed": stored_packed,
+        "stored_bytes_pickle_zlib": stored_pickle,
+        "read_reduction": read_ratio,
+        "stored_reduction": stored_ratio,
+        "gets_packed": packed_store.stats.gets,
+        "gets_pickle_zlib": pickle_store.stats.gets,
+    })
+    print(f"\n[fastpath/codec] decoded bytes: packed "
+          f"{packed_codec.decoded_bytes}B vs pickle+zlib "
+          f"{pickle_codec.decoded_bytes}B (x{read_ratio:.2f}); stored "
+          f"{stored_packed}B vs {stored_pickle}B (x{stored_ratio:.2f})")
+    assert read_ratio >= 2.0, (
+        f"packed codec read reduction only x{read_ratio:.2f}")
+    assert stored_ratio >= 2.0, (
+        f"packed codec stored reduction only x{stored_ratio:.2f}")
+
+
+def test_multipoint_mutations_near_single_chain(recorder, dataset1):
+    index = DeltaGraph.build(dataset1, leaf_eventlist_size=LEAF_SIZE,
+                             arity=ARITY,
+                             differential_functions=("intersection",))
+    # 8 consecutive leaf timepoints near the end of history: the Steiner
+    # tree shares one long chain plus 7 short hops, which is exactly the
+    # sharing Figure 8c claims.
+    leaf_times = [leaf.time for leaf in index.skeleton.leaves()]
+    times = leaf_times[-9:-1]
+    assert len(times) == 8
+    single_series = []
+    for t in times:
+        COUNTERS.reset()
+        index.get_snapshot(t)
+        single_series.append(COUNTERS.mutations())
+    best_single = max(single_series)
+    COUNTERS.reset()
+    multi = index.get_snapshots(times)
+    multi_mutations = COUNTERS.mutations()
+    multi_copied = COUNTERS.entries_copied
+    ratio = multi_mutations / best_single
+    for t, snapshot in zip(times, multi):
+        assert snapshot == index.get_snapshot(t)
+    recorder("fastpath_multipoint_mutations", {
+        "query_times": times,
+        "singlepoint_mutations": single_series,
+        "multipoint_mutations": multi_mutations,
+        "multipoint_entries_copied": multi_copied,
+        "best_single_chain": best_single,
+        "sum_of_singles": sum(single_series),
+        "ratio_vs_best_single": ratio,
+        "sharing_speedup_vs_naive": sum(single_series) / multi_mutations,
+    })
+    print(f"\n[fastpath/multipoint] 8-point plan: {multi_mutations} "
+          f"mutations vs best single chain {best_single} "
+          f"(x{ratio:.3f}); naive 8 singles would cost "
+          f"{sum(single_series)} (sharing x"
+          f"{sum(single_series) / multi_mutations:.2f}); "
+          f"copied {multi_copied} entries")
+    assert ratio <= 1.25, (
+        f"multipoint executed x{ratio:.3f} of the best single chain")
+    # The COW executor must not regress to per-terminal full snapshot
+    # copies, which would duplicate roughly one full chain per terminal.
+    # (The copied volume itself scales with overlay sizes and flatten
+    # points, so the bound is the naive total, valid at any
+    # REPRO_BENCH_EVENTS; the exact figure is in the recorded JSON.)
+    assert multi_copied <= sum(single_series)
+
+
+def test_snapshot_copy_is_o1_until_first_write(recorder):
+    snapshot = GraphSnapshot({("N", i): 1 for i in range(10000)})
+    COUNTERS.reset()
+    clone = snapshot.copy()
+    copies_cost = COUNTERS.entries_copied + COUNTERS.entries_written
+    assert copies_cost == 0, "copy() should allocate no element entries"
+    clone.add_elements([(("N", 10001), 1)])
+    first_write_cost = COUNTERS.entries_copied + COUNTERS.entries_written
+    recorder("fastpath_cow_copy", {
+        "snapshot_elements": 10000,
+        "entries_allocated_by_copy": copies_cost,
+        "entries_after_first_write": first_write_cost,
+    })
+    assert first_write_cost <= 64, (
+        "first write after copy() should cost O(1), not a full flatten")
+    assert len(clone) == 10001 and len(snapshot) == 10000

@@ -63,8 +63,8 @@ class Delta:
         additions: Dict[ElementKey, object] = {}
         removals: Dict[ElementKey, object] = {}
         changes: Dict[ElementKey, Tuple[object, object]] = {}
-        parent_elems = parent.elements
-        child_elems = child.elements
+        parent_elems = parent.element_map()
+        child_elems = child.element_map()
         for key, child_value in child_elems.items():
             if key not in parent_elems:
                 additions[key] = child_value
@@ -113,6 +113,20 @@ class Delta:
         snapshot.add_elements(self.additions.items())
         snapshot.add_elements(
             (key, new) for key, (_old, new) in self.changes.items())
+        return snapshot
+
+    def apply_inverse(self, snapshot: GraphSnapshot) -> GraphSnapshot:
+        """Apply the delta in the child->parent direction, in place.
+
+        Equivalent to ``self.invert().apply(snapshot)`` without materializing
+        the inverted delta — the retrieval executor traverses skeleton edges
+        against their stored direction on almost every plan, so this runs on
+        the query hot path.
+        """
+        snapshot.remove_elements(self.additions.keys())
+        snapshot.add_elements(self.removals.items())
+        snapshot.add_elements(
+            (key, old) for key, (old, _new) in self.changes.items())
         return snapshot
 
     def apply_to_copy(self, snapshot: GraphSnapshot,

@@ -35,6 +35,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cache.delta_cache import CacheStats, DeltaCache
 from ..errors import ConfigurationError, DeltaGraphIndexError, QueryError
+from ..storage.compression import resolve_codec
 from ..storage.kvstore import KVStore, make_key
 from ..storage.memory_store import InMemoryKVStore
 from .delta import DELTA_COMPONENTS, Delta, DeltaStats
@@ -167,6 +168,16 @@ class DeltaGraphConfig:
         caching unless a cache is injected.
     cache_policy:
         Eviction policy of the owned cache: ``"lru"``, ``"lfu"``, ``"clock"``.
+    codec:
+        Serialization for stored delta/eventlist payloads: ``"pickle"``,
+        ``"compressed"`` (pickle + zlib, the historical default), or
+        ``"packed"`` (struct-packed columnar format, pickle fallback for
+        payloads outside its schema; see :mod:`repro.storage.packed`).
+        ``None`` leaves the store's own codec untouched.
+    multipoint_workers:
+        Default thread count for multipoint retrieval: independent subtrees
+        of the Steiner plan execute concurrently (per-query ``workers``
+        arguments override this).
     """
 
     leaf_eventlist_size: int = 1000
@@ -175,6 +186,8 @@ class DeltaGraphConfig:
     num_partitions: int = 1
     cache_max_bytes: int = 0
     cache_policy: str = "lru"
+    codec: Optional[str] = None
+    multipoint_workers: int = 1
 
     def resolved_functions(self) -> List[DifferentialFunction]:
         """The differential functions as instantiated objects."""
@@ -201,6 +214,13 @@ class DeltaGraphConfig:
             raise ConfigurationError("num_partitions must be >= 1")
         if self.cache_max_bytes < 0:
             raise ConfigurationError("cache_max_bytes must be >= 0")
+        if self.codec is not None:
+            try:
+                resolve_codec(self.codec)
+            except ValueError as exc:
+                raise ConfigurationError(str(exc)) from None
+        if self.multipoint_workers < 1:
+            raise ConfigurationError("multipoint_workers must be >= 1")
 
 
 @dataclass
@@ -237,6 +257,12 @@ class DeltaGraph:
         self.store = store if store is not None else InMemoryKVStore()
         self.config = config if config is not None else DeltaGraphConfig()
         self.config.validate()
+        if self.config.codec is not None:
+            if not self.store.set_codec(resolve_codec(self.config.codec)):
+                raise ConfigurationError(
+                    f"store {type(self.store).__name__} cannot switch to "
+                    f"codec {self.config.codec!r} (no codec support, or it "
+                    f"already holds data written with another codec)")
         if cache is not None:
             self.cache: Optional[DeltaCache] = cache
         elif self.config.cache_max_bytes > 0:
@@ -273,7 +299,9 @@ class DeltaGraph:
               initial_graph: Optional[GraphSnapshot] = None,
               cache: Optional[DeltaCache] = None,
               cache_max_bytes: int = 0,
-              cache_policy: str = "lru") -> "DeltaGraph":
+              cache_policy: str = "lru",
+              codec: Optional[str] = None,
+              multipoint_workers: int = 1) -> "DeltaGraph":
         """Bulk-construct a DeltaGraph from a chronological event trace.
 
         Parameters mirror the paper's construction inputs: the eventlist
@@ -284,13 +312,17 @@ class DeltaGraph:
         ``aux_indexes`` is a sequence of objects implementing the auxiliary
         index protocol of :mod:`repro.auxindex.framework`.  ``cache`` (or the
         ``cache_max_bytes``/``cache_policy`` knobs) enables the cross-query
-        :class:`~repro.cache.delta_cache.DeltaCache`.
+        :class:`~repro.cache.delta_cache.DeltaCache`.  ``codec`` selects the
+        stored-payload serialization (see :class:`DeltaGraphConfig`);
+        ``multipoint_workers`` sets the default parallelism of
+        :meth:`get_snapshots`.
         """
         config = DeltaGraphConfig(
             leaf_eventlist_size=leaf_eventlist_size, arity=arity,
             differential_functions=differential_functions,
             num_partitions=num_partitions,
-            cache_max_bytes=cache_max_bytes, cache_policy=cache_policy)
+            cache_max_bytes=cache_max_bytes, cache_policy=cache_policy,
+            codec=codec, multipoint_workers=multipoint_workers)
         index = cls(store=store, config=config, cache=cache)
         index._bulk_load(EventList(events), aux_indexes or [],
                          initial_graph=initial_graph)
@@ -701,6 +733,29 @@ class DeltaGraph:
         return QueryPlan(steps=steps, estimated_cost=cost,
                          target_nodes=[virtual.id], components=components)
 
+    def _plan_steiner(self, times: Sequence[int],
+                      components: Sequence[str]
+                      ) -> Tuple[List[PlanStep], Dict[str, int], List[str]]:
+        """Virtual nodes + Steiner tree for a multipoint query, under the lock.
+
+        Shared by :meth:`plan_multipoint` and :meth:`get_snapshots`.  The
+        virtual nodes are removed from the skeleton before returning — the
+        steps retain the edge objects execution needs, so neither the
+        executor nor planning-only callers touch the skeleton afterwards.
+        Returns the steps, the virtual-node-id -> query-time mapping, and
+        the virtual-node ids in input order.
+        """
+        with self._lock:
+            virtual_nodes = [self.skeleton.add_virtual_node(t) for t in times]
+            node_to_time = {v.id: t for v, t in zip(virtual_nodes, times)}
+            try:
+                steps = self.skeleton.steiner_tree(list(node_to_time),
+                                                   components)
+            finally:
+                for v in virtual_nodes:
+                    self.skeleton.remove_node(v.id)
+        return steps, node_to_time, [v.id for v in virtual_nodes]
+
     def plan_multipoint(self, times: Sequence[int],
                         components: Optional[Sequence[str]] = None
                         ) -> Tuple[QueryPlan, Dict[str, int]]:
@@ -710,20 +765,8 @@ class DeltaGraph:
         time it represents.
         """
         components = self._normalize_components(components)
-        with self._lock:
-            virtual_nodes = [self.skeleton.add_virtual_node(t) for t in times]
-            try:
-                steps = self.skeleton.steiner_tree(
-                    [v.id for v in virtual_nodes], components)
-                cost = sum(step.edge.weight(components) for step in steps)
-            finally:
-                mapping = {v.id: t for v, t in zip(virtual_nodes, times)}
-                # Virtual nodes must survive until execution finishes; the
-                # executor removes them.  For planning-only callers we remove
-                # them here and rebuild during execution, keeping the skeleton
-                # clean; the steps retain the edge objects they need.
-                for v in virtual_nodes:
-                    self.skeleton.remove_node(v.id)
+        steps, mapping, _ordered = self._plan_steiner(times, components)
+        cost = sum(step.edge.weight(components) for step in steps)
         plan = QueryPlan(steps=steps, estimated_cost=cost,
                          target_nodes=list(mapping), components=components)
         return plan, mapping
@@ -756,7 +799,8 @@ class DeltaGraph:
                 delta_cache[cache_key] = self._fetch_delta(
                     edge.delta_id, components, partitions, local)
             delta: Delta = delta_cache[cache_key]
-            return (delta if step.forward else delta.invert()).apply(snapshot)
+            return (delta.apply(snapshot) if step.forward
+                    else delta.apply_inverse(snapshot))
         if edge.kind == EdgeKind.EVENTLIST:
             cache_key = (edge.delta_id, False)
             if cache_key not in delta_cache:
@@ -823,88 +867,167 @@ class DeltaGraph:
 
     def get_snapshots(self, times: Sequence[int],
                       components: Optional[Sequence[str]] = None,
-                      partitions: Optional[Sequence[int]] = None
-                      ) -> List[GraphSnapshot]:
+                      partitions: Optional[Sequence[int]] = None,
+                      workers: Optional[int] = None) -> List[GraphSnapshot]:
         """Retrieve several snapshots with one multipoint plan (Section 4.4).
 
         The Steiner-tree plan shares deltas between the requested timepoints,
         avoiding the duplicate reads a sequence of singlepoint queries would
-        perform (multi-query optimization, Figure 8c).
+        perform (multi-query optimization, Figure 8c).  ``workers`` (default:
+        ``DeltaGraphConfig.multipoint_workers``) executes independent
+        subtrees of the plan — one per super-root child it touches — on a
+        thread pool, sharing the prefetched payload scratch.
         """
         if not times:
             return []
         components = self._normalize_components(components)
-        with self._lock:
-            virtual_nodes = [self.skeleton.add_virtual_node(t) for t in times]
-            node_to_time = {v.id: t for v, t in zip(virtual_nodes, times)}
-            try:
-                steps = self.skeleton.steiner_tree(list(node_to_time),
-                                                   components)
-                results = self._execute_tree(steps, node_to_time, components,
-                                             partitions)
-            finally:
-                for v in virtual_nodes:
-                    self.skeleton.remove_node(v.id)
-        ordered = [results[v.id] for v in virtual_nodes]
+        steps, node_to_time, ordered_ids = self._plan_steiner(times,
+                                                              components)
+        if workers is None:
+            workers = self.config.multipoint_workers
+        results = self._execute_tree(steps, node_to_time, components,
+                                     partitions, workers=workers)
+        ordered = [results[node_id] for node_id in ordered_ids]
         for snapshot, time in zip(ordered, times):
             self._apply_recent_events(snapshot, time, components)
         return ordered
 
+    @staticmethod
+    def _split_subtrees(steps: List[PlanStep]) -> List[List[PlanStep]]:
+        """Partition Steiner steps into the subtrees hanging off the super-root.
+
+        Each group is the step set of one connected component of the plan
+        with the super-root removed, plus the super-root edges entering it —
+        an independently executable unit (the working snapshot at the
+        super-root is the empty graph, so subtrees share no state).
+        """
+        adjacency: Dict[str, List[Tuple[str, PlanStep]]] = {}
+        root_steps: List[PlanStep] = []
+        for step in steps:
+            a, b = step.edge.source, step.edge.target
+            if SUPER_ROOT_ID in (a, b):
+                root_steps.append(step)
+                continue
+            adjacency.setdefault(a, []).append((b, step))
+            adjacency.setdefault(b, []).append((a, step))
+        groups: List[List[PlanStep]] = []
+        component_of: Dict[str, int] = {}
+        for root_step in root_steps:
+            a, b = root_step.edge.source, root_step.edge.target
+            start = b if a == SUPER_ROOT_ID else a
+            if start in component_of:
+                # A second super-root edge into an already-discovered
+                # component (e.g. a materialized shortcut next to a delta).
+                groups[component_of[start]].append(root_step)
+                continue
+            index = len(groups)
+            group = [root_step]
+            seen_steps = {id(root_step)}
+            component_of[start] = index
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for neighbor, step in adjacency.get(node, []):
+                    if id(step) not in seen_steps:
+                        seen_steps.add(id(step))
+                        group.append(step)
+                    if neighbor not in component_of:
+                        component_of[neighbor] = index
+                        stack.append(neighbor)
+            groups.append(group)
+        return groups if groups else [steps]
+
     def _execute_tree(self, steps: List[PlanStep],
                       node_to_time: Dict[str, int],
                       components: Sequence[str],
-                      partitions: Optional[Sequence[int]]
-                      ) -> Dict[str, GraphSnapshot]:
-        """Execute a Steiner-tree plan with a depth-first traversal.
+                      partitions: Optional[Sequence[int]],
+                      workers: int = 1) -> Dict[str, GraphSnapshot]:
+        """Execute a Steiner-tree plan, optionally one subtree per thread.
 
-        The working snapshot is mutated while descending and restored (by
-        applying the inverse delta) while backtracking, so only one full
-        snapshot is held at a time besides the results.
+        All payloads are prefetched into one shared scratch first; with
+        ``workers > 1`` the plan is split at the super-root and each subtree
+        runs on its own thread (they start from the empty graph and share
+        only the read-mostly scratch, so no locking is needed beyond the
+        GIL's per-operation atomicity).
+        """
+        delta_cache: Dict = {}
+        self._prefetch_steps(steps, components, partitions, local=delta_cache)
+        groups = [steps]
+        if workers > 1:
+            split = self._split_subtrees(steps)
+            if len(split) > 1:
+                groups = split
+        results: Dict[str, GraphSnapshot] = {}
+        if len(groups) > 1:
+            with ThreadPoolExecutor(
+                    max_workers=min(workers, len(groups))) as pool:
+                futures = [
+                    pool.submit(self._traverse_tree, group, node_to_time,
+                                components, delta_cache, partitions)
+                    for group in groups]
+                for future in futures:
+                    results.update(future.result())
+        else:
+            results = self._traverse_tree(steps, node_to_time, components,
+                                          delta_cache, partitions)
+        missing = set(node_to_time) - set(results)
+        if missing:
+            raise QueryError(f"multipoint plan did not reach {missing}")
+        return results
+
+    def _traverse_tree(self, steps: List[PlanStep],
+                       node_to_time: Dict[str, int],
+                       components: Sequence[str],
+                       delta_cache: Dict,
+                       partitions: Optional[Sequence[int]]
+                       ) -> Dict[str, GraphSnapshot]:
+        """Iterative depth-first execution of (a subtree of) a Steiner plan.
+
+        An explicit stack replaces the old recursive DFS, so deep skeletons
+        (small leaves, long histories) cannot hit Python's recursion limit.
+        Instead of mutating one working snapshot and undoing every step while
+        backtracking, the traversal *forks* the working snapshot wherever the
+        tree branches: copies are O(overlay) thanks to the copy-on-write
+        snapshot representation, each tree edge is applied exactly once, and
+        terminal snapshots are O(1) copies of the working state.
         """
         # The Steiner steps may be oriented arbitrarily (they come from
         # shortest paths between different terminal pairs); index each edge
-        # under both endpoints so the DFS from the super-root can traverse it
-        # in whichever direction it reaches it first.
+        # under both endpoints so the traversal from the super-root can use
+        # it in whichever direction it reaches it first.
         adjacency: Dict[str, List[PlanStep]] = {}
         for step in steps:
             adjacency.setdefault(step.from_node, []).append(step)
             adjacency.setdefault(step.to_node, []).append(
                 PlanStep(step.edge, not step.forward))
         results: Dict[str, GraphSnapshot] = {}
-        delta_cache: Dict = {}
-        self._prefetch_steps(steps, components, partitions, local=delta_cache)
-        working = GraphSnapshot.empty()
-        visited: set = set()
-
-        def dfs(node_id: str) -> None:
-            nonlocal working
-            visited.add(node_id)
+        visited = {SUPER_ROOT_ID}
+        stack: List[Tuple[str, GraphSnapshot]] = [
+            (SUPER_ROOT_ID, GraphSnapshot.empty())]
+        while stack:
+            node_id, snapshot = stack.pop()
             if node_id in node_to_time:
-                results[node_id] = working.copy(time=node_to_time[node_id])
-            for step in adjacency.get(node_id, []):
-                nxt = step.to_node
-                if nxt in visited:
-                    continue
-                before_materialized = None
+                results[node_id] = snapshot.copy(time=node_to_time[node_id])
+            child_steps = [s for s in adjacency.get(node_id, [])
+                           if s.to_node not in visited]
+            if not child_steps:
+                continue
+            visited.update(s.to_node for s in child_steps)
+            if len(child_steps) > 1 and snapshot.overlay_size > 512:
+                # One flatten beats duplicating a large overlay per branch.
+                snapshot.compact()
+            last = len(child_steps) - 1
+            for index, step in enumerate(child_steps):
+                # The last branch consumes the working snapshot; earlier
+                # branches fork an O(overlay) copy.  Materialized shortcuts
+                # replace the snapshot wholesale, so they skip the fork.
                 if step.edge.kind == EdgeKind.MATERIALIZED:
-                    before_materialized = working
-                working = self._apply_step(working, step, components,
-                                           delta_cache, partitions)
-                dfs(nxt)
-                # Undo the step while backtracking: re-apply it in the
-                # opposite direction (materialized shortcuts restore the
-                # previous working snapshot instead).
-                if step.edge.kind == EdgeKind.MATERIALIZED:
-                    working = before_materialized
+                    branch = snapshot
                 else:
-                    working = self._apply_step(
-                        working, PlanStep(step.edge, not step.forward),
-                        components, delta_cache, partitions)
-
-        dfs(SUPER_ROOT_ID)
-        missing = set(node_to_time) - set(results)
-        if missing:
-            raise QueryError(f"multipoint plan did not reach {missing}")
+                    branch = snapshot if index == last else snapshot.copy()
+                branch = self._apply_step(branch, step, components,
+                                          delta_cache, partitions)
+                stack.append((step.to_node, branch))
         return results
 
     def get_snapshot_parallel(self, time: int,
@@ -1146,7 +1269,7 @@ class DeltaGraph:
         note GraphPool would store these overlaid (union) so this is an upper
         bound on the true incremental memory.
         """
-        return sum(len(s.elements) for s in self._materialized.values())
+        return sum(len(s) for s in self._materialized.values())
 
     # ==================================================================
     # updates to the current graph (Section 6)

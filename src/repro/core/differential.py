@@ -87,8 +87,8 @@ class IntersectionFunction(DifferentialFunction):
     name = "intersection"
 
     def combine(self, children: Sequence[GraphSnapshot]) -> GraphSnapshot:
-        first = children[0].elements
-        rest = [c.elements for c in children[1:]]
+        first = children[0].element_map()
+        rest = [c.element_map() for c in children[1:]]
         out: Dict[ElementKey, object] = {}
         for key, value in first.items():
             if all(key in other and other[key] == value for other in rest):
@@ -107,7 +107,7 @@ class UnionFunction(DifferentialFunction):
     def combine(self, children: Sequence[GraphSnapshot]) -> GraphSnapshot:
         out: Dict[ElementKey, object] = {}
         for child in children:
-            out.update(child.elements)
+            out.update(child.element_map())
         return GraphSnapshot(out)
 
 
@@ -155,8 +155,8 @@ class SkewedFunction(_PairwiseFunction):
         self.r = r
 
     def combine_pair(self, a: GraphSnapshot, b: GraphSnapshot) -> GraphSnapshot:
-        out = dict(a.elements)
-        for key, value in b.elements.items():
+        out = dict(a.element_map())
+        for key, value in b.element_map().items():
             if key not in out and _stable_fraction(key) < self.r:
                 out[key] = value
         return GraphSnapshot(out)
@@ -177,8 +177,8 @@ class RightSkewedFunction(_PairwiseFunction):
 
     def combine_pair(self, a: GraphSnapshot, b: GraphSnapshot) -> GraphSnapshot:
         out: Dict[ElementKey, object] = {}
-        b_elems = b.elements
-        for key, value in a.elements.items():
+        b_elems = b.element_map()
+        for key, value in a.element_map().items():
             if key in b_elems and b_elems[key] == value:
                 out[key] = value
         for key, value in b_elems.items():
@@ -202,8 +202,8 @@ class LeftSkewedFunction(_PairwiseFunction):
 
     def combine_pair(self, a: GraphSnapshot, b: GraphSnapshot) -> GraphSnapshot:
         out: Dict[ElementKey, object] = {}
-        b_elems = b.elements
-        for key, value in a.elements.items():
+        b_elems = b.element_map()
+        for key, value in a.element_map().items():
             if key in b_elems and b_elems[key] == value:
                 out[key] = value
             elif _stable_fraction(key) < self.r:
@@ -235,7 +235,7 @@ class MixedFunction(DifferentialFunction):
         self.r2 = r2
 
     def combine(self, children: Sequence[GraphSnapshot]) -> GraphSnapshot:
-        result = GraphSnapshot(dict(children[0].elements))
+        result = GraphSnapshot(dict(children[0].element_map()))
         for older, newer in zip(children, children[1:]):
             pair_delta = Delta.between(older, newer)
             for key, value in pair_delta.additions.items():

@@ -101,7 +101,7 @@ class HashPartitioner:
         """Split a snapshot's elements into one sub-snapshot per partition."""
         parts: List[Dict[ElementKey, object]] = [
             {} for _ in range(self.num_partitions)]
-        for key, value in snapshot.elements.items():
+        for key, value in snapshot.items():
             parts[self.partition_of_key(key)][key] = value
         return [GraphSnapshot(p, time=snapshot.time) for p in parts]
 
@@ -110,6 +110,6 @@ class HashPartitioner:
         merged: Dict[ElementKey, object] = {}
         time = None
         for part in parts:
-            merged.update(part.elements)
+            merged.update(part.element_map())
             time = part.time if part.time is not None else time
         return GraphSnapshot(merged, time=time)

@@ -120,7 +120,7 @@ class GraphPool:
         for entry, bitmap in list(self._entries.items()):
             if bitmap & (1 << CURRENT_BIT):
                 self._entries[entry] = bitmap & ~(1 << CURRENT_BIT)
-        for key, value in snapshot.elements.items():
+        for key, value in snapshot.items():
             self._set_bit(self._entry_key(key, value), CURRENT_BIT)
 
     def apply_current_event(self, event: Event) -> None:
@@ -134,10 +134,10 @@ class GraphPool:
         # Determine the element entries the event adds and removes by
         # applying it to an empty scratch snapshot in both directions.
         scratch.apply_event(event, forward=True)
-        added = [(k, v) for k, v in scratch.elements.items()]
+        added = list(scratch.items())
         scratch_back = GraphSnapshot.empty()
         scratch_back.apply_event(event, forward=False)
-        removed = [(k, v) for k, v in scratch_back.elements.items()]
+        removed = list(scratch_back.items())
         if event.type in (EventType.NODE_ATTR, EventType.EDGE_ATTR):
             # For attribute changes, "removed" is the old value entry.
             pass
@@ -159,7 +159,7 @@ class GraphPool:
         """Overlay a materialized DeltaGraph node onto the pool."""
         registration = self._allocator.register_materialized(
             time=time, description=description)
-        for key, value in snapshot.elements.items():
+        for key, value in snapshot.items():
             self._set_bit(self._entry_key(key, value), registration.primary_bit)
         return registration
 
@@ -182,13 +182,13 @@ class GraphPool:
         override_bit = registration.primary_bit
         member_bit = registration.secondary_bit
         if dependency is None:
-            for key, value in snapshot.elements.items():
+            for key, value in snapshot.items():
                 self._set_bit(self._entry_key(key, value), member_bit)
             return registration
         # Dependent storage: touch only entries whose membership differs.
         base_entries = set(self._graph_entries(dependency))
         snapshot_entries = {self._entry_key(k, v)
-                            for k, v in snapshot.elements.items()}
+                            for k, v in snapshot.items()}
         for entry in snapshot_entries - base_entries:
             self._set_bit(entry, override_bit)
             self._set_bit(entry, member_bit)
@@ -200,7 +200,7 @@ class GraphPool:
     def _choose_dependency(self, snapshot: GraphSnapshot) -> Optional[int]:
         """Pick the resident graph with the smallest difference, if small enough."""
         snapshot_entries = {self._entry_key(k, v)
-                            for k, v in snapshot.elements.items()}
+                            for k, v in snapshot.items()}
         best_id, best_diff = None, None
         for registration in self._allocator.registrations():
             if registration.kind == GraphKind.HISTORICAL:

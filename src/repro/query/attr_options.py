@@ -87,7 +87,7 @@ class AttributeFilter:
     def apply(self, snapshot: GraphSnapshot) -> GraphSnapshot:
         """Drop attribute entries the filter does not accept (in place)."""
         to_remove = []
-        for key in snapshot.elements:
+        for key in snapshot.keys():
             if key[0] == NODE_ATTR and not self.accepts_node_attr(key[2]):
                 to_remove.append(key)
             elif key[0] == EDGE_ATTR and not self.accepts_edge_attr(key[2]):

@@ -100,10 +100,15 @@ class HistoryManager:
         return attr_filter.apply(snapshot)
 
     def retrieve_many(self, times: Sequence[int],
-                      attr_filter: AttributeFilter) -> List[GraphSnapshot]:
-        """Retrieve several snapshots with one multipoint plan."""
-        snapshots = self.index.get_snapshots(times,
-                                             components=attr_filter.components())
+                      attr_filter: AttributeFilter,
+                      workers: Optional[int] = None) -> List[GraphSnapshot]:
+        """Retrieve several snapshots with one multipoint plan.
+
+        ``workers`` threads execute independent subtrees of the plan
+        (default: the index's ``multipoint_workers`` configuration).
+        """
+        snapshots = self.index.get_snapshots(
+            times, components=attr_filter.components(), workers=workers)
         return [attr_filter.apply(s) for s in snapshots]
 
     def retrieve_interval(self, start: int, end: int,
@@ -207,10 +212,16 @@ class GraphManager:
         return self._register(snapshot, time)
 
     def get_hist_graphs(self, times: Sequence[int],
-                        attr_options: str = "") -> List[HistGraph]:
-        """``GetHistGraphs(t_list, attr_options)`` — multipoint retrieval."""
+                        attr_options: str = "",
+                        workers: Optional[int] = None) -> List[HistGraph]:
+        """``GetHistGraphs(t_list, attr_options)`` — multipoint retrieval.
+
+        ``workers`` threads execute independent subtrees of the multipoint
+        plan (default: the index's ``multipoint_workers`` configuration).
+        """
         attr_filter = parse_attr_options(attr_options)
-        snapshots = self.history.retrieve_many(times, attr_filter)
+        snapshots = self.history.retrieve_many(times, attr_filter,
+                                               workers=workers)
         return [self._register(snapshot, time)
                 for snapshot, time in zip(snapshots, times)]
 
@@ -224,17 +235,18 @@ class GraphManager:
         """
         attr_filter = parse_attr_options(attr_options)
         snapshots = self.history.retrieve_many(expression.times, attr_filter)
+        maps = [s.element_map() for s in snapshots]
         keys = set()
-        for snapshot in snapshots:
-            keys.update(snapshot.elements)
+        for elems in maps:
+            keys.update(elems)
         combined = GraphSnapshot.empty()
         for key in keys:
-            memberships = [key in s.elements for s in snapshots]
+            memberships = [key in elems for elems in maps]
             if expression.evaluate(memberships):
                 value = None
-                for snapshot, member in zip(snapshots, memberships):
+                for elems, member in zip(maps, memberships):
                     if member:
-                        value = snapshot.elements[key]
+                        value = elems[key]
                 combined.elements[key] = value
         return self._register(combined, expression.times[-1])
 

@@ -9,19 +9,35 @@ package provides drop-in equivalents:
   with zlib compression,
 * :class:`~repro.storage.instrumented.InstrumentedKVStore` — accounting and
   simulated-latency wrapper used by the benchmark harness.
+
+Values are serialized by a :class:`~repro.storage.compression.Codec`:
+pickle, pickle+zlib (the historical default), or the struct-packed columnar
+format of :class:`~repro.storage.packed.PackedCodec` (selectable with
+``DeltaGraph.build(..., codec="packed")``).
 """
 
-from .compression import Codec, CompressedCodec, PickleCodec, default_codec
+from .compression import (
+    Codec,
+    CompressedCodec,
+    CountingCodec,
+    PickleCodec,
+    default_codec,
+    resolve_codec,
+)
 from .disk_store import DiskKVStore
 from .instrumented import InstrumentedKVStore, IOStats, SimulatedLatencyModel
 from .kvstore import KVStore, make_key, parse_key
 from .memory_store import InMemoryKVStore
+from .packed import PackedCodec
 
 __all__ = [
     "Codec",
     "CompressedCodec",
+    "CountingCodec",
+    "PackedCodec",
     "PickleCodec",
     "default_codec",
+    "resolve_codec",
     "DiskKVStore",
     "InMemoryKVStore",
     "InstrumentedKVStore",

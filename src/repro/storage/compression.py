@@ -11,8 +11,10 @@ from __future__ import annotations
 import pickle
 import zlib
 from dataclasses import dataclass
+from typing import Union
 
-__all__ = ["Codec", "PickleCodec", "CompressedCodec", "default_codec"]
+__all__ = ["Codec", "PickleCodec", "CompressedCodec", "CountingCodec",
+           "default_codec", "resolve_codec"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +58,65 @@ class CompressedCodec(Codec):
         return pickle.loads(zlib.decompress(payload))
 
 
+class CountingCodec(Codec):
+    """Decorator codec that counts the bytes flowing through another codec.
+
+    Benchmarks wrap a store's codec with this to measure *encoded payload
+    bytes* read and written — the quantity the paper's retrieval-latency
+    figures are driven by — independently of how the store itself accounts
+    I/O.  ``decoded_bytes``/``decode_calls`` accumulate on reads,
+    ``encoded_bytes``/``encode_calls`` on writes; :meth:`reset` zeroes all
+    four.
+    """
+
+    def __init__(self, inner: Codec) -> None:
+        object.__setattr__(self, "inner", inner)
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero the byte and call counters."""
+        object.__setattr__(self, "encode_calls", 0)
+        object.__setattr__(self, "encoded_bytes", 0)
+        object.__setattr__(self, "decode_calls", 0)
+        object.__setattr__(self, "decoded_bytes", 0)
+
+    def encode(self, value: object) -> bytes:
+        payload = self.inner.encode(value)
+        object.__setattr__(self, "encode_calls", self.encode_calls + 1)
+        object.__setattr__(self, "encoded_bytes",
+                           self.encoded_bytes + len(payload))
+        return payload
+
+    def decode(self, payload: bytes) -> object:
+        object.__setattr__(self, "decode_calls", self.decode_calls + 1)
+        object.__setattr__(self, "decoded_bytes",
+                           self.decoded_bytes + len(payload))
+        return self.inner.decode(payload)
+
+
 def default_codec(compress: bool = True) -> Codec:
     """The codec used by the disk store unless overridden."""
     return CompressedCodec() if compress else PickleCodec()
+
+
+def resolve_codec(spec: Union[str, Codec]) -> Codec:
+    """Resolve a codec name (or pass through a codec instance).
+
+    Known names: ``"pickle"`` (no compression), ``"compressed"`` /
+    ``"pickle+zlib"`` / ``"zlib"`` (pickle + zlib, the historical default),
+    and ``"packed"`` (the struct-packed columnar format of
+    :mod:`repro.storage.packed`, with pickle fallback for payloads outside
+    its schema).
+    """
+    if isinstance(spec, Codec):
+        return spec
+    name = spec.lower()
+    if name == "pickle":
+        return PickleCodec()
+    if name in ("compressed", "pickle+zlib", "zlib"):
+        return CompressedCodec()
+    if name == "packed":
+        from .packed import PackedCodec
+        return PackedCodec()
+    raise ValueError(
+        f"unknown codec {spec!r}; choose 'pickle', 'compressed', or 'packed'")

@@ -94,6 +94,18 @@ class DiskKVStore(KVStore):
         self._file.seek(0, os.SEEK_END)
         return self._codec.decode(payload)
 
+    def set_codec(self, codec: Codec) -> bool:
+        """Install ``codec`` (see :meth:`KVStore.set_codec`).
+
+        Allowed while the store is empty, or — so a persisted index can be
+        reopened with the same configuration — when the requested codec is
+        of the same type as the one already in use.
+        """
+        if self._index and type(codec) is not type(self._codec):
+            return False
+        self._codec = codec
+        return True
+
     def put(self, key: StorageKey, value: object) -> None:
         payload = self._codec.encode(value)
         encoded_key = key.encode("utf-8")

@@ -202,6 +202,10 @@ class InstrumentedKVStore(KVStore):
                 if self.latency is not None and item_list else 0.0)
         self._account_batch(start, len(item_list), nbytes, cost, read=False)
 
+    def set_codec(self, codec) -> bool:
+        """Delegate codec installation to the wrapped store."""
+        return self.inner.set_codec(codec)
+
     def delete(self, key: StorageKey) -> None:
         self.inner.delete(key)
 

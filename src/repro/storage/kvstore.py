@@ -95,6 +95,19 @@ class KVStore(ABC):
 
     # -- conveniences shared by all implementations -----------------------------
 
+    def set_codec(self, codec) -> bool:
+        """Install a value codec on the store, if it supports one.
+
+        Returns ``True`` when the codec was installed.  The base
+        implementation returns ``False`` (backend does not expose its
+        serialization); backends that do support codecs only allow switching
+        while the store is empty, because already-written payloads would be
+        decoded with the wrong codec.  Used by
+        :class:`~repro.core.deltagraph.DeltaGraph` to apply the
+        ``DeltaGraphConfig.codec`` knob.
+        """
+        return False
+
     def contains(self, key: StorageKey) -> bool:
         """Whether the key is present."""
         try:

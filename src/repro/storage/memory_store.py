@@ -45,6 +45,18 @@ class InMemoryKVStore(KVStore):
             value = self._codec.encode(value)
         self._data[key] = value
 
+    def set_codec(self, codec: Optional[Codec]) -> bool:
+        """Install ``codec`` (see :meth:`KVStore.set_codec`).
+
+        Allowed while the store is empty, or — so an index over an existing
+        store can be reconstructed with the same configuration — when the
+        requested codec is of the same type as the one already installed.
+        """
+        if self._data and type(codec) is not type(self._codec):
+            return False
+        self._codec = codec
+        return True
+
     def delete(self, key: StorageKey) -> None:
         self._data.pop(key, None)
 

@@ -149,3 +149,122 @@ class TestElementAlgebra:
         assert GraphSnapshot.empty() == GraphSnapshot.empty()
         snapshot = build_sample()
         assert len(snapshot) == len(snapshot.elements)
+
+
+class TestCopyOnWrite:
+    """The overlay/base representation behind O(1) snapshot copies."""
+
+    def big_snapshot(self, n=10000):
+        from repro.core.snapshot import COUNTERS
+        elements = {("N", i): 1 for i in range(n)}
+        COUNTERS.reset()
+        return GraphSnapshot(elements)
+
+    def test_copy_allocates_no_entries_until_first_write(self):
+        from repro.core.snapshot import COUNTERS
+        snapshot = self.big_snapshot()
+        COUNTERS.reset()
+        clone = snapshot.copy()
+        assert COUNTERS.entries_copied == 0
+        assert COUNTERS.entries_written == 0
+        assert clone.overlay_size == 0
+        # First write lands in the overlay, still without copying the base.
+        clone.apply_event(new_node(1, 999999))
+        assert COUNTERS.entries_copied == 0
+        assert COUNTERS.entries_written == 1
+        assert clone.has_node(999999) and not snapshot.has_node(999999)
+
+    def test_twins_stay_independent_both_directions(self):
+        snapshot = self.big_snapshot(100)
+        clone = snapshot.copy()
+        snapshot.apply_event(new_node(1, 7000))
+        clone.apply_event(new_node(1, 8000))
+        assert snapshot.has_node(7000) and not snapshot.has_node(8000)
+        assert clone.has_node(8000) and not clone.has_node(7000)
+
+    def test_overlay_removals_and_len(self):
+        snapshot = self.big_snapshot(50)
+        clone = snapshot.copy()
+        clone.remove_elements([("N", 0), ("N", 1)])
+        clone.add_elements([(("N", 50), 1), (("N", 0), 1)])
+        assert len(clone) == 50      # -2 removed, +1 novel, +1 re-added
+        assert len(snapshot) == 50
+        assert clone.has_node(0) and not clone.has_node(1)
+        assert sorted(clone.node_ids()) == [0] + list(range(2, 51))
+        assert dict(clone.items()) == clone.elements
+
+    def test_flatten_after_mutation_burst(self):
+        from repro.core.snapshot import COUNTERS
+        snapshot = self.big_snapshot(100)
+        clone = snapshot.copy()
+        # A burst bigger than the base forces a flatten into a private dict.
+        clone.add_elements([(("N", 1000 + i), 1) for i in range(200)])
+        assert clone.overlay_size == 0
+        assert COUNTERS.flattens >= 1
+        assert len(clone) == 300 and len(snapshot) == 100
+
+    def test_elements_property_unshares(self):
+        snapshot = self.big_snapshot(30)
+        clone = snapshot.copy()
+        # Mutating through the legacy .elements dict must not leak into the
+        # twin: the property flattens into a private dict first.
+        clone.elements[("N", 999)] = 1
+        assert clone.has_node(999) and not snapshot.has_node(999)
+
+    def test_element_map_is_read_view(self):
+        snapshot = self.big_snapshot(30)
+        clone = snapshot.copy()
+        assert clone.element_map() is snapshot.element_map()
+        clone.apply_event(new_node(1, 31))
+        # After a write the maps diverge.
+        assert ("N", 31) in clone.element_map()
+        assert ("N", 31) not in snapshot.element_map()
+
+    def test_compact_makes_copies_cheap_again(self):
+        from repro.core.snapshot import COUNTERS
+        snapshot = self.big_snapshot(100)
+        clone = snapshot.copy()
+        clone.add_elements([(("N", 200 + i), 1) for i in range(20)])
+        assert clone.overlay_size == 20
+        clone.compact()
+        assert clone.overlay_size == 0
+        COUNTERS.reset()
+        clone.copy()
+        assert COUNTERS.entries_copied == 0
+
+    def test_copy_shares_adjacency_until_invalidated(self):
+        snapshot = GraphSnapshot()
+        snapshot.apply_event(new_node(1, 1))
+        snapshot.apply_event(new_node(1, 2))
+        snapshot.apply_event(new_edge(2, 10, 1, 2))
+        adjacency = snapshot.adjacency()
+        clone = snapshot.copy()
+        assert clone.adjacency() is adjacency
+        clone.apply_event(new_edge(3, 11, 2, 1))
+        assert clone.adjacency() is not adjacency
+        assert snapshot.adjacency() is adjacency
+
+    def test_elements_mutation_invalidates_inherited_adjacency(self):
+        snapshot = GraphSnapshot()
+        snapshot.apply_event(new_node(1, 1))
+        snapshot.apply_event(new_node(1, 2))
+        snapshot.apply_event(new_edge(2, 10, 1, 2))
+        snapshot.adjacency()
+        clone = snapshot.copy()
+        # Mutating through the legacy dict must not leave the clone serving
+        # the twin's stale adjacency cache.
+        clone.elements[("N", 3)] = 1
+        clone.elements[("E", 11)] = (2, 3, True)
+        assert 3 in clone.neighbors(2)
+        assert 3 not in snapshot.neighbors(2)
+
+    def test_deep_copy_chains(self):
+        base = self.big_snapshot(40)
+        chain = [base]
+        for i in range(10):
+            twin = chain[-1].copy()
+            twin.apply_event(new_node(1, 1000 + i))
+            chain.append(twin)
+        for i, snapshot in enumerate(chain):
+            assert len(snapshot) == 40 + i
+            assert snapshot.num_nodes() == 40 + i

@@ -1,0 +1,210 @@
+"""Property-based and unit tests for the packed columnar codec.
+
+The packed format must be a *lossless* replacement for pickle: random
+deltas and eventlists — including unicode attribute values, negative ids,
+empty components, and values outside the packed schema — must decode to
+objects equal to the originals under both the packed codec and the pickle
+fallbacks, and payloads written by any codec must be readable through the
+packed decoder (first-byte sniffing).
+"""
+
+from __future__ import annotations
+
+import pytest
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.delta import Delta
+from repro.core.events import (
+    Event,
+    delete_edge,
+    delete_node,
+    new_edge,
+    new_node,
+    transient_edge,
+    transient_node,
+    update_edge_attr,
+    update_node_attr,
+)
+from repro.errors import StorageError
+from repro.storage.compression import (
+    CompressedCodec,
+    CountingCodec,
+    PickleCodec,
+    resolve_codec,
+)
+from repro.storage.packed import PACKED_MAGIC, PACKED_VERSION, PackedCodec
+
+# Attribute values: the packed schema's native types plus unicode strings
+# and an arbitrary-payload case (tuples of mixed content).
+attr_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-2**70, max_value=2**70),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=12),
+    st.tuples(st.text(max_size=5), st.integers(-1000, 1000)),
+    st.lists(st.integers(-5, 5), max_size=4),
+)
+
+attr_names = st.text(min_size=1, max_size=10)
+element_ids = st.integers(min_value=-10**6, max_value=10**6)
+
+element_keys = st.one_of(
+    st.tuples(st.just("N"), element_ids),
+    st.tuples(st.just("E"), element_ids),
+    st.tuples(st.just("NA"), element_ids, attr_names),
+    st.tuples(st.just("EA"), element_ids, attr_names),
+)
+
+
+@st.composite
+def deltas(draw):
+    additions = draw(st.dictionaries(element_keys, attr_values, max_size=12))
+    removals = draw(st.dictionaries(element_keys, attr_values, max_size=12))
+    changes = draw(st.dictionaries(
+        element_keys, st.tuples(attr_values, attr_values), max_size=8))
+    return Delta(additions, removals, changes)
+
+
+@st.composite
+def event_lists(draw):
+    times = sorted(draw(st.lists(
+        st.integers(min_value=-10**9, max_value=10**9), max_size=10)))
+    events = []
+    for time in times:
+        maker = draw(st.sampled_from(
+            ["nn", "dn", "ne", "de", "una", "uea", "tn", "te"]))
+        node = draw(element_ids)
+        edge = draw(element_ids)
+        attrs = draw(st.dictionaries(attr_names, attr_values, max_size=3))
+        if maker == "nn":
+            events.append(new_node(time, node, attrs))
+        elif maker == "dn":
+            events.append(delete_node(time, node, attrs))
+        elif maker == "ne":
+            events.append(new_edge(time, edge, node, node + 1,
+                                   directed=draw(st.booleans()),
+                                   attributes=attrs))
+        elif maker == "de":
+            events.append(delete_edge(time, edge, node, node + 1,
+                                      directed=draw(st.booleans()),
+                                      attributes=attrs))
+        elif maker == "una":
+            events.append(update_node_attr(time, node, draw(attr_names),
+                                           draw(attr_values),
+                                           draw(attr_values)))
+        elif maker == "uea":
+            events.append(update_edge_attr(time, edge, draw(attr_names),
+                                           draw(attr_values),
+                                           draw(attr_values)))
+        elif maker == "tn":
+            events.append(transient_node(time, node, attrs))
+        else:
+            events.append(transient_edge(time, edge, node, node + 1,
+                                         attributes=attrs))
+    return events
+
+
+CODECS = [PackedCodec(), PackedCodec(compress_threshold=1),
+          CompressedCodec(), PickleCodec()]
+CODEC_IDS = ["packed", "packed-compressed", "pickle+zlib", "pickle"]
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(delta=deltas())
+    def test_delta_round_trip_all_codecs(self, delta):
+        for codec in CODECS:
+            assert codec.decode(codec.encode(delta)) == delta
+
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(events=event_lists())
+    def test_eventlist_round_trip_all_codecs(self, events):
+        for codec in CODECS:
+            assert codec.decode(codec.encode(events)) == events
+
+    @settings(max_examples=60, deadline=None)
+    @given(delta=deltas())
+    def test_cross_codec_sniffing(self, delta):
+        """Payloads written by the pickle codecs decode through PackedCodec."""
+        packed = PackedCodec()
+        for writer in (CompressedCodec(), PickleCodec()):
+            assert packed.decode(writer.encode(delta)) == delta
+
+
+class TestEdgeCases:
+    def test_empty_components(self):
+        codec = PackedCodec()
+        assert codec.decode(codec.encode(Delta())) == Delta()
+        assert codec.decode(codec.encode([])) == []
+
+    def test_unicode_attribute_values(self):
+        codec = PackedCodec()
+        delta = Delta(additions={("NA", 1, "ünïcode-ключ"): "värde-βήτα-日本"})
+        assert codec.decode(codec.encode(delta)) == delta
+
+    def test_schema_fallback_for_exotic_keys(self):
+        """Deltas with keys outside the schema fall back to pickle wholesale."""
+        codec = PackedCodec()
+        delta = Delta(additions={("weird", "string-id"): 1})
+        payload = codec.encode(delta)
+        assert payload[0] != PACKED_MAGIC
+        assert codec.decode(payload) == delta
+
+    def test_non_event_list_falls_back(self):
+        codec = PackedCodec()
+        value = [new_node(1, 1), "not an event"]
+        payload = codec.encode(value)
+        assert payload[0] != PACKED_MAGIC
+        assert codec.decode(payload) == value
+
+    def test_exotic_attribute_value_stays_packed(self):
+        """Arbitrary values use the per-value pickle escape, not a fallback."""
+        codec = PackedCodec()
+        delta = Delta(additions={("NA", 1, "blob"): {"nested": {1, 2}}})
+        payload = codec.encode(delta)
+        assert payload[0] == PACKED_MAGIC
+        assert codec.decode(payload) == delta
+
+    def test_version_byte_rejects_future_formats(self):
+        codec = PackedCodec()
+        payload = bytearray(codec.encode(Delta(additions={("N", 1): 1})))
+        assert payload[1] == PACKED_VERSION
+        payload[1] = PACKED_VERSION + 1
+        with pytest.raises(StorageError):
+            codec.decode(bytes(payload))
+
+    def test_resolve_codec_names(self):
+        assert isinstance(resolve_codec("packed"), PackedCodec)
+        assert isinstance(resolve_codec("pickle"), PickleCodec)
+        assert isinstance(resolve_codec("compressed"), CompressedCodec)
+        inst = PackedCodec()
+        assert resolve_codec(inst) is inst
+        with pytest.raises(ValueError):
+            resolve_codec("msgpack")
+
+    def test_counting_codec_accumulates_and_resets(self):
+        codec = CountingCodec(PackedCodec())
+        delta = Delta(additions={("N", i): 1 for i in range(50)})
+        payload = codec.encode(delta)
+        assert codec.encode_calls == 1
+        assert codec.encoded_bytes == len(payload)
+        assert codec.decode(payload) == delta
+        assert codec.decode_calls == 1
+        assert codec.decoded_bytes == len(payload)
+        codec.reset()
+        assert codec.encoded_bytes == codec.decoded_bytes == 0
+
+    def test_large_delta_compresses(self):
+        """Bodies above the threshold actually shrink on repetitive data."""
+        codec = PackedCodec()
+        delta = Delta(additions={("NA", i, "name"): f"value-{i % 7}"
+                                 for i in range(500)})
+        packed = codec.encode(delta)
+        uncompressed = PackedCodec(compress_threshold=10**9).encode(delta)
+        assert len(packed) < len(uncompressed)
+        assert codec.decode(packed) == delta == codec.decode(uncompressed)
