@@ -1,0 +1,156 @@
+"""Amortized cost of live ingestion, in deterministic operation counts.
+
+The claim under test: ``DeltaGraph.append`` maintains the index by touching
+O(changed root-to-leaf path) store keys per sealed leaf — the new
+leaf-eventlist, the interior deltas on the collapse path, and the rebuilt
+provisional top — never O(index).  Wall-clock is deliberately not measured
+(single-core CI boxes make it flaky); the assertions run on the
+:class:`~repro.storage.instrumented.InstrumentedKVStore` put/delete counters
+and :attr:`DeltaGraph.ingest_stats`, which are exact and machine-independent.
+
+Parametrized at two ``REPRO_BENCH_EVENTS``-derived sizes so the recorded
+series also documents how per-seal cost scales with history length (it
+should grow with the skeleton height, i.e. logarithmically).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import BENCH_EVENTS
+
+from repro.core.deltagraph import DeltaGraph
+from repro.datasets.coauthorship import (
+    CoauthorshipConfig,
+    generate_coauthorship_trace,
+)
+from repro.storage.instrumented import InstrumentedKVStore
+from repro.storage.memory_store import InMemoryKVStore
+
+LEAF_SIZE = 400
+ARITY = 2
+APPEND_BATCH = 117  # deliberately not a divisor of LEAF_SIZE
+
+
+def _ingest_run(num_events: int):
+    """Build over a 60% prefix, append the rest, return the measurements."""
+    events = generate_coauthorship_trace(CoauthorshipConfig(
+        total_events=num_events, num_years=30, attrs_per_node=3, seed=23))
+    split = int(len(events) * 0.6)
+    store = InstrumentedKVStore(InMemoryKVStore())
+    index = DeltaGraph.build(events[:split], store=store,
+                             leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+    build_puts = store.stats.puts
+    store.reset_stats()
+    index.ingest_stats.reset()
+
+    suffix = list(events)[split:]
+    for i in range(0, len(suffix), APPEND_BATCH):
+        index.append_batch(suffix[i:i + APPEND_BATCH])
+    # Flush the lazily deferred provisional-top rebuild into the measured
+    # window (a real deployment pays it at the first post-burst query).
+    index.seal(partial=False)
+
+    rebuild_store = InstrumentedKVStore(InMemoryKVStore())
+    DeltaGraph.build(events, store=rebuild_store,
+                     leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+    return index, store.stats.snapshot(), build_puts, \
+        rebuild_store.stats.puts, events
+
+
+@pytest.mark.parametrize("num_events",
+                         [max(BENCH_EVENTS // 2, 4000), BENCH_EVENTS],
+                         ids=["half", "full"])
+def test_append_cost_is_changed_path_not_index(num_events, recorder):
+    index, io, build_puts, rebuild_puts, events = _ingest_run(num_events)
+    ingest = index.ingest_stats
+    assert ingest.leaves_sealed >= 3, "workload must seal several leaves"
+
+    # 1. Ingestion is write-only: maintenance never reads the store back
+    #    (pending hierarchy state lives in memory).
+    assert io.gets == 0
+    assert io.batch_gets == 0
+
+    # 2. Per-seal store writes are bounded by the changed root-to-leaf
+    #    path: one eventlist (<= 4 components) plus at most one interior
+    #    per level for the collapse and one per level for the rebuilt
+    #    provisional top — O(height), never O(#leaves).
+    height = max(index.skeleton.height(), 2)
+    per_seal_budget = (4 + 2) + (height + 1) * ARITY * (3 + 2)
+    per_seal = ingest.store_keys_written / ingest.leaves_sealed
+    assert per_seal <= per_seal_budget, (
+        f"{per_seal:.1f} keys/seal exceeds the changed-path budget "
+        f"{per_seal_budget} (height {height})")
+    total_leaves = len(index.skeleton.leaves())
+    assert per_seal < total_leaves, \
+        "per-seal cost must stay below O(#leaves) == O(index)"
+
+    # 3. Appending the 40% suffix costs far less than rebuilding the whole
+    #    index from scratch (the old build-once/read-only workflow).
+    assert io.puts < rebuild_puts / 2, (
+        f"append wrote {io.puts} keys, a rebuild writes {rebuild_puts} — "
+        f"ingestion is not paying off")
+
+    # 4. Teardown deletes only what re-finalization wrote: the purge never
+    #    deletes more than the provisional share of the writes.
+    assert io.deletes <= io.puts
+    assert ingest.store_keys_deleted == io.deletes
+
+    # 5. The maintained index stays correct (spot check, not the full
+    #    conformance suite).
+    t = events.end_time
+    maintained = index.get_snapshot(t)
+    rebuilt = DeltaGraph.build(events, leaf_eventlist_size=LEAF_SIZE,
+                               arity=ARITY).get_snapshot(t)
+    assert maintained.elements == rebuilt.elements
+
+    recorder(f"ingest_cost_{num_events}", {
+        "events": num_events,
+        "leaf_size": LEAF_SIZE,
+        "arity": ARITY,
+        "leaves_sealed": ingest.leaves_sealed,
+        "interiors_created": ingest.interiors_created,
+        "interiors_retired": ingest.interiors_retired,
+        "refinalizes": ingest.refinalizes,
+        "store_keys_written": ingest.store_keys_written,
+        "store_keys_deleted": ingest.store_keys_deleted,
+        "per_seal_keys": round(per_seal, 2),
+        "per_seal_budget": per_seal_budget,
+        "skeleton_height": height,
+        "build_puts_prefix": build_puts,
+        "rebuild_puts_full": rebuild_puts,
+        "append_puts": io.puts,
+    })
+
+
+def test_per_seal_cost_scales_with_height_not_size(recorder):
+    """Doubling the history must not double the per-seal key cost.
+
+    The changed path is O(log n); compare per-seal cost at the two sizes
+    directly in one test so the assertion is self-contained.
+    """
+    small_n = max(BENCH_EVENTS // 2, 4000)
+    if small_n >= BENCH_EVENTS:
+        pytest.skip("REPRO_BENCH_EVENTS too small for a meaningful "
+                    "half-vs-full scaling comparison (need >= 8000)")
+    index_small, _io, _b, _r, _e = _ingest_run(small_n)
+    index_full, _io2, _b2, _r2, _e2 = _ingest_run(BENCH_EVENTS)
+    small = index_small.ingest_stats
+    full = index_full.ingest_stats
+    per_seal_small = small.store_keys_written / small.leaves_sealed
+    per_seal_full = full.store_keys_written / full.leaves_sealed
+    height_small = index_small.skeleton.height()
+    height_full = index_full.skeleton.height()
+    # Height grows by O(log ratio); per-seal cost may grow with height but
+    # must stay well below proportional growth in index size.
+    size_ratio = BENCH_EVENTS / small_n
+    cost_ratio = per_seal_full / max(per_seal_small, 1e-9)
+    assert cost_ratio < size_ratio, (
+        f"per-seal cost grew {cost_ratio:.2f}x for a {size_ratio:.2f}x "
+        f"larger history — that is O(index), not O(changed path)")
+    recorder("ingest_cost_scaling", {
+        "sizes": [small_n, BENCH_EVENTS],
+        "per_seal_keys": [round(per_seal_small, 2), round(per_seal_full, 2)],
+        "heights": [height_small, height_full],
+        "cost_ratio": round(cost_ratio, 3),
+        "size_ratio": round(size_ratio, 3),
+    })

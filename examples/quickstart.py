@@ -80,7 +80,24 @@ def main() -> None:
           f"({diff.num_nodes()} nodes, {diff.num_edges()} edges)")
 
     # ------------------------------------------------------------------
-    # 4. Release what we no longer need; the cleaner reclaims memory lazily.
+    # 4. Live ingestion: the index grows in place as new events arrive.
+    #    Full leaf-sized chunks seal new leaves and propagate recomputed
+    #    deltas up the hierarchy; smaller tails stay in the recent
+    #    eventlist and are still immediately queryable.
+    # ------------------------------------------------------------------
+    fresh = generate_coauthorship_trace(CoauthorshipConfig(
+        total_events=3000, num_years=5, attrs_per_node=3, seed=7,
+        start_year=1981))  # the build above covers 1940-1980
+    gm.ingest(fresh)
+    latest = gm.get_hist_graph(fresh.end_time)
+    print(f"\nafter ingesting {len(fresh)} live events: "
+          f"{latest.num_nodes()} nodes / {latest.num_edges()} edges "
+          f"@ t={fresh.end_time}")
+    print(f"ingest counters: {gm.index.ingest_stats}")
+    gm.release(latest)
+
+    # ------------------------------------------------------------------
+    # 5. Release what we no longer need; the cleaner reclaims memory lazily.
     # ------------------------------------------------------------------
     for view in views:
         gm.release(view)

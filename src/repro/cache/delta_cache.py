@@ -273,6 +273,22 @@ class DeltaCache:
                 self._remove(key, count_invalidation=True)
             return len(keys)
 
+    def invalidate_groups(self, groups: Iterable[str]) -> int:
+        """Drop every entry cached under any of ``groups``; returns how many.
+
+        One lock acquisition for the whole batch — this is the entry point
+        the DeltaGraph's incremental-maintenance purge uses when it retires a
+        generation of provisional deltas.
+        """
+        with self._lock:
+            total = 0
+            for group in groups:
+                keys = list(self._groups.get(group, ()))
+                for key in keys:
+                    self._remove(key, count_invalidation=True)
+                total += len(keys)
+            return total
+
     def clear(self) -> None:
         """Drop everything (counters are preserved; see :meth:`reset_stats`)."""
         with self._lock:

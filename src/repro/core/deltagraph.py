@@ -20,7 +20,11 @@ This module implements:
 * singlepoint and multipoint snapshot retrieval with Dijkstra / Steiner-tree
   planning (Sections 4.3, 4.4),
 * memory materialization of arbitrary index nodes (Section 4.5),
-* continuous updates through a recent eventlist (Section 6, "Updates"),
+* live ingestion — incremental, in-place index maintenance: appended events
+  accumulate in a recent eventlist, seal new leaves, and propagate
+  recomputed deltas up the hierarchy so the maintained index answers every
+  query exactly like a fresh bulk build over the longer trace (Section 6,
+  "Updates"; DESIGN.md §8),
 * the extensibility hooks for auxiliary indexes (Section 4.7).
 """
 
@@ -59,7 +63,7 @@ from .snapshot import (
     GraphSnapshot,
 )
 
-__all__ = ["DeltaGraphConfig", "QueryPlan", "DeltaGraph",
+__all__ = ["DeltaGraphConfig", "QueryPlan", "DeltaGraph", "IngestStats",
            "split_events_by_component", "MAIN_COMPONENTS"]
 
 #: Components fetched by default (everything except transient events).
@@ -178,6 +182,18 @@ class DeltaGraphConfig:
         Default thread count for multipoint retrieval: independent subtrees
         of the Steiner plan execute concurrently (per-query ``workers``
         arguments override this).
+    events_per_leaf:
+        Leaf-seal threshold for live ingestion: once this many appended
+        events have accumulated in the recent eventlist, a new leaf is sealed
+        and the hierarchy grown in place.  ``None`` (the default) uses
+        ``leaf_eventlist_size``, which keeps live-sealed leaves identical in
+        size to bulk-built ones; a smaller value trades leaf uniformity for
+        fresher indexed history.
+    seal_policy:
+        ``"size"`` (default) seals leaves automatically whenever
+        ``events_per_leaf`` events have accumulated; ``"manual"`` only seals
+        on an explicit :meth:`DeltaGraph.seal` call (useful when the caller
+        wants to align seals with its own batch boundaries).
     """
 
     leaf_eventlist_size: int = 1000
@@ -188,6 +204,13 @@ class DeltaGraphConfig:
     cache_policy: str = "lru"
     codec: Optional[str] = None
     multipoint_workers: int = 1
+    events_per_leaf: Optional[int] = None
+    seal_policy: str = "size"
+
+    def effective_events_per_leaf(self) -> int:
+        """The live-ingestion leaf-seal threshold actually in force."""
+        return (self.events_per_leaf if self.events_per_leaf is not None
+                else self.leaf_eventlist_size)
 
     def resolved_functions(self) -> List[DifferentialFunction]:
         """The differential functions as instantiated objects."""
@@ -221,6 +244,77 @@ class DeltaGraphConfig:
                 raise ConfigurationError(str(exc)) from None
         if self.multipoint_workers < 1:
             raise ConfigurationError("multipoint_workers must be >= 1")
+        if self.events_per_leaf is not None and self.events_per_leaf < 1:
+            raise ConfigurationError("events_per_leaf must be >= 1")
+        if self.seal_policy not in ("size", "manual"):
+            raise ConfigurationError(
+                f"unknown seal_policy {self.seal_policy!r}; "
+                f"choose 'size' or 'manual'")
+
+
+@dataclass
+class IngestStats:
+    """Operation counters of the live-ingestion path.
+
+    Deterministic op counts (not wall-clock) so the amortized cost of
+    :meth:`DeltaGraph.append` is assertable in tests and benchmarks: a
+    healthy append touches O(changed root-to-leaf path) store keys — the
+    sealed leaf-eventlist, the interior deltas on the collapse path, and the
+    re-finalized provisional top — never O(index).
+    """
+
+    events_appended: int = 0
+    leaves_sealed: int = 0
+    interiors_created: int = 0
+    interiors_retired: int = 0
+    store_keys_written: int = 0
+    store_keys_deleted: int = 0
+    refinalizes: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.events_appended = 0
+        self.leaves_sealed = 0
+        self.interiors_created = 0
+        self.interiors_retired = 0
+        self.store_keys_written = 0
+        self.store_keys_deleted = 0
+        self.refinalizes = 0
+
+    def snapshot(self) -> "IngestStats":
+        """A copy of the current counters."""
+        return IngestStats(self.events_appended, self.leaves_sealed,
+                           self.interiors_created, self.interiors_retired,
+                           self.store_keys_written, self.store_keys_deleted,
+                           self.refinalizes)
+
+    def __sub__(self, other: "IngestStats") -> "IngestStats":
+        return IngestStats(
+            self.events_appended - other.events_appended,
+            self.leaves_sealed - other.leaves_sealed,
+            self.interiors_created - other.interiors_created,
+            self.interiors_retired - other.interiors_retired,
+            self.store_keys_written - other.store_keys_written,
+            self.store_keys_deleted - other.store_keys_deleted,
+            self.refinalizes - other.refinalizes)
+
+
+@dataclass
+class _ProvisionalRecord:
+    """The re-buildable top of the hierarchies for one generation.
+
+    The bulk construction (and every leaf seal) leaves per-hierarchy
+    *pending* groups of fewer than ``arity`` open nodes; connecting them to
+    the super-root requires collapsing those ragged groups.  The nodes,
+    edges, and stored deltas created by that collapse are recorded here so a
+    later seal can tear them down and re-finalize — everything else in the
+    index is write-once and permanent.
+    """
+
+    generation: int
+    node_ids: List[str] = field(default_factory=list)
+    edges: List[SkeletonEdge] = field(default_factory=list)
+    delta_ids: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -284,7 +378,45 @@ class DeltaGraph:
         self._last_indexed_time: Optional[int] = None
         self._leaf_counter = itertools.count()
         self._lock = threading.RLock()
-        self._pending_new_leaves: List[Tuple[str, GraphSnapshot]] = []
+        # -- live-ingestion state (Section 6 / incremental maintenance) --
+        #: Differential-function instances, resolved once (collapse and
+        #: re-finalization must keep using the same instances).
+        self._functions = self.config.resolved_functions()
+        #: Per hierarchy: level -> open (node_id, snapshot, aux) groups that
+        #: have not yet accumulated ``arity`` members.  This is the bulk
+        #: construction's bottom-up state, retained so appends grow the
+        #: index exactly as a longer bulk build would have.
+        self._pending: List[Dict[int, List[Tuple[str, GraphSnapshot,
+                                                 Dict[str, dict]]]]] = \
+            [dict() for _ in self._functions]
+        #: Auxiliary-index states as of the newest sealed leaf.
+        self._current_aux: Dict[str, dict] = {}
+        #: Graph state at the newest leaf (the replay base for deriving a
+        #: sealed chunk's aux events with the same per-chunk boundaries the
+        #: bulk build uses).
+        self._last_leaf_snapshot: Optional[GraphSnapshot] = None
+        #: Storage keys written per *provisional* delta id — the exact key
+        #: set a teardown must delete (permanent deltas are never tracked).
+        self._delta_keys: Dict[str, List[str]] = {}
+        #: How bulk materialization was last requested (``("roots", None)``
+        #: or ``("level", depth)``) so a teardown of materialized
+        #: provisional nodes can restore the *configured* layout.
+        self._materialization_policy: Optional[Tuple[str, Optional[int]]] = None
+        #: The current generation's re-buildable hierarchy top.
+        self._provisional: Optional[_ProvisionalRecord] = None
+        #: Set while re-finalizing: newly created artifacts are recorded.
+        self._recording: Optional[_ProvisionalRecord] = None
+        #: Retired (delta_id, keys) awaiting purge — kept for one extra
+        #: generation so queries planned before a seal still read their
+        #: payloads (the read-during-ingest grace period).
+        self._retired: List[Tuple[str, List[str]]] = []
+        self._generation = 0
+        self._last_leaf_id: Optional[str] = None
+        #: Seals mark the provisional top dirty; the rebuild runs lazily at
+        #: the next plan (amortizing one re-finalization per append burst).
+        self._top_dirty = False
+        #: Deterministic op counters for the ingestion path.
+        self.ingest_stats = IngestStats()
 
     # ==================================================================
     # construction
@@ -301,7 +433,9 @@ class DeltaGraph:
               cache_max_bytes: int = 0,
               cache_policy: str = "lru",
               codec: Optional[str] = None,
-              multipoint_workers: int = 1) -> "DeltaGraph":
+              multipoint_workers: int = 1,
+              events_per_leaf: Optional[int] = None,
+              seal_policy: str = "size") -> "DeltaGraph":
         """Bulk-construct a DeltaGraph from a chronological event trace.
 
         Parameters mirror the paper's construction inputs: the eventlist
@@ -322,7 +456,8 @@ class DeltaGraph:
             differential_functions=differential_functions,
             num_partitions=num_partitions,
             cache_max_bytes=cache_max_bytes, cache_policy=cache_policy,
-            codec=codec, multipoint_workers=multipoint_workers)
+            codec=codec, multipoint_workers=multipoint_workers,
+            events_per_leaf=events_per_leaf, seal_policy=seal_policy)
         index = cls(store=store, config=config, cache=cache)
         index._bulk_load(EventList(events), aux_indexes or [],
                          initial_graph=initial_graph)
@@ -330,57 +465,37 @@ class DeltaGraph:
 
     def _bulk_load(self, events: EventList, aux_indexes: Sequence,
                    initial_graph: Optional[GraphSnapshot]) -> None:
-        functions = self.config.resolved_functions()
-        arity = self.config.arity
         leaf_size = self.config.leaf_eventlist_size
         for aux in aux_indexes:
             self.aux_indexes[aux.name] = aux
 
         current = (initial_graph.copy() if initial_graph is not None
                    else GraphSnapshot.empty())
-        current_aux: Dict[str, dict] = {aux.name: aux.initial_snapshot()
-                                        for aux in aux_indexes}
+        self._current_aux = {aux.name: aux.initial_snapshot()
+                             for aux in aux_indexes}
         start_time = events[0].time - 1 if len(events) else 0
         if initial_graph is not None and initial_graph.time is not None:
             start_time = min(start_time, initial_graph.time)
         current.time = start_time
 
-        # pending[hierarchy][level] -> list of (node_id, snapshot, aux snapshots)
-        pending: List[Dict[int, List[Tuple[str, GraphSnapshot, Dict[str, dict]]]]]
-        pending = [dict() for _ in functions]
-
-        def make_leaf(snapshot: GraphSnapshot, aux_snaps: Dict[str, dict],
-                      time: int) -> str:
-            index = next(self._leaf_counter)
-            node = SkeletonNode(id=f"leaf:{index}", kind=NodeKind.LEAF,
-                                level=1, index=index, time=time)
-            self.skeleton.add_node(node)
-            frozen = snapshot.copy(time=time)
-            frozen_aux = {name: dict(snap) for name, snap in aux_snaps.items()}
-            for h in range(len(functions)):
-                pending[h].setdefault(1, []).append((node.id, frozen, frozen_aux))
-                self._maybe_collapse(pending[h], 1, functions[h], h, arity,
-                                     force=False)
-            return node.id
-
         # Leaf 0 corresponds to the initial graph G_0.
-        previous_leaf_id = make_leaf(current, current_aux, start_time)
+        previous_leaf_id = self._make_leaf(current, start_time)
         chunks = events.split_into_chunks(leaf_size) if len(events) else []
         for chunk_index, chunk in enumerate(chunks):
             aux_events: Dict[str, list] = {aux.name: [] for aux in aux_indexes}
             for event in chunk:
                 for aux in aux_indexes:
                     produced = aux.create_aux_event(
-                        event, current, current_aux[aux.name])
+                        event, current, self._current_aux[aux.name])
                     if produced:
                         aux_events[aux.name].extend(produced)
                 current.apply_event(event)
             for aux in aux_indexes:
-                current_aux[aux.name] = aux.create_aux_snapshot(
-                    current_aux[aux.name], aux_events[aux.name])
+                self._current_aux[aux.name] = aux.create_aux_snapshot(
+                    self._current_aux[aux.name], aux_events[aux.name])
             leaf_time = chunk.end_time
             current.time = leaf_time
-            leaf_id = make_leaf(current, current_aux, leaf_time)
+            leaf_id = self._make_leaf(current, leaf_time)
             eventlist_id = f"evl:{chunk_index}"
             stats = self._store_eventlist(eventlist_id, chunk, aux_events)
             self.skeleton.add_edge(SkeletonEdge(
@@ -390,13 +505,38 @@ class DeltaGraph:
             previous_leaf_id = leaf_id
             self._last_indexed_time = leaf_time
 
-        # Collapse any ragged groups and connect hierarchy roots.
-        for h, function in enumerate(functions):
-            self._finalize_hierarchy(pending[h], function, h, arity)
-
         self._current_graph = current.copy()
         if self._last_indexed_time is None:
             self._last_indexed_time = start_time
+        # Collapse ragged groups and connect hierarchy roots — provisionally,
+        # so later appends can tear the top down and grow it in place.
+        self._refinalize()
+        # Ingest counters measure post-build ingestion only.
+        self.ingest_stats.reset()
+
+    def _make_leaf(self, snapshot: GraphSnapshot, time: int) -> str:
+        """Register a new leaf and feed it into every hierarchy's pending
+        groups, collapsing whenever ``arity`` children have accumulated.
+
+        ``snapshot`` is the graph state at ``time``; the current aux states
+        (``self._current_aux``) are frozen alongside it.
+        """
+        index = next(self._leaf_counter)
+        node = SkeletonNode(id=f"leaf:{index}", kind=NodeKind.LEAF,
+                            level=1, index=index, time=time)
+        self.skeleton.add_node(node)
+        frozen = snapshot.copy(time=time)
+        frozen_aux = {name: dict(snap)
+                      for name, snap in self._current_aux.items()}
+        arity = self.config.arity
+        for h, function in enumerate(self._functions):
+            self._pending[h].setdefault(1, []).append(
+                (node.id, frozen, frozen_aux))
+            self._maybe_collapse(self._pending[h], 1, function, h, arity,
+                                 force=False)
+        self._last_leaf_id = node.id
+        self._last_leaf_snapshot = frozen
+        return node.id
 
     def _maybe_collapse(self, pending: Dict[int, list], level: int,
                         function: DifferentialFunction, hierarchy: int,
@@ -422,10 +562,19 @@ class DeltaGraph:
             parent_aux[name] = aux.aux_differential(
                 [aux_snaps[name] for _nid, _snap, aux_snaps in children])
         index = self.skeleton.nodes[children[0][0]].index
+        # Provisional interiors (created while re-finalizing) carry the
+        # generation in their id so the delta keys of consecutive
+        # generations never collide — retired payloads of generation g are
+        # only purged after generation g+1 is built.
+        recording = self._recording
+        suffix = f":g{recording.generation}" if recording is not None else ""
         node = SkeletonNode(
-            id=f"interior:h{hierarchy}:l{level}:{index}",
+            id=f"interior:h{hierarchy}:l{level}:{index}{suffix}",
             kind=NodeKind.INTERIOR, level=level, index=index)
         self.skeleton.add_node(node)
+        if recording is not None:
+            recording.node_ids.append(node.id)
+        self.ingest_stats.interiors_created += 1
         for child_id, child_snapshot, child_aux in children:
             delta = Delta.between(parent_snapshot, child_snapshot)
             aux_deltas = {
@@ -433,15 +582,25 @@ class DeltaGraph:
                 for name in self.aux_indexes}
             delta_id = f"delta:{node.id}:{child_id}"
             stats = self._store_delta(delta_id, delta, aux_deltas)
-            self.skeleton.add_edge(SkeletonEdge(
+            edge = self.skeleton.add_edge(SkeletonEdge(
                 source=node.id, target=child_id, kind=EdgeKind.DELTA,
                 delta_id=delta_id, stats=stats))
+            if recording is not None:
+                recording.edges.append(edge)
         return node.id, parent_snapshot, parent_aux
 
     def _finalize_hierarchy(self, pending: Dict[int, list],
                             function: DifferentialFunction, hierarchy: int,
                             arity: int) -> None:
-        """Collapse ragged pending groups bottom-up and attach the root."""
+        """Collapse ragged pending groups bottom-up and attach the root.
+
+        Runs on a *staged copy* of the hierarchy's pending state while
+        ``self._recording`` is set: the interiors/edges/deltas it creates are
+        provisional (torn down and rebuilt at the next leaf seal), and the
+        real pending groups stay open so appends keep growing them.
+        """
+        record = self._recording
+        assert record is not None, "finalization must run while recording"
         max_level = max(pending) if pending else 1
         level = 1
         while level <= max_level:
@@ -463,11 +622,16 @@ class DeltaGraph:
                 name: self.aux_indexes[name].diff(
                     self.aux_indexes[name].initial_snapshot(), root_aux[name])
                 for name in self.aux_indexes}
-            delta_id = f"delta:super-root:h{hierarchy}:{root_id}"
+            # The root may be a permanent node (a lone leaf, or an interior
+            # a regular collapse produced); the generation stamp keeps the
+            # super-root delta id unique across re-finalizations anyway.
+            delta_id = (f"delta:super-root:h{hierarchy}"
+                        f":g{record.generation}:{root_id}")
             stats = self._store_delta(delta_id, delta, aux_deltas)
-            self.skeleton.add_edge(SkeletonEdge(
+            edge = self.skeleton.add_edge(SkeletonEdge(
                 source=SUPER_ROOT_ID, target=root_id, kind=EdgeKind.DELTA,
                 delta_id=delta_id, stats=stats))
+            record.edges.append(edge)
 
     # ==================================================================
     # storage helpers
@@ -492,6 +656,7 @@ class DeltaGraph:
                 items.append((make_key(0, delta_id, component), aux_delta))
             component_sizes[component] = len(aux_delta)
         self.store.put_many(items)
+        self._record_written(delta_id, items)
         if self.cache is not None:
             self.cache.invalidate_group(self._cache_group(delta_id))
         total = sum(component_sizes.values())
@@ -518,10 +683,26 @@ class DeltaGraph:
                               list(events_for_index)))
             component_sizes[component] = len(events_for_index)
         self.store.put_many(items)
+        self._record_written(eventlist_id, items)
         if self.cache is not None:
             self.cache.invalidate_group(self._cache_group(eventlist_id))
         total = sum(component_sizes.values())
         return DeltaStats(component_sizes=component_sizes, total_entries=total)
+
+    def _record_written(self, delta_id: str,
+                        items: Sequence[Tuple[str, object]]) -> None:
+        """Track what a write touched.
+
+        ``store_keys_written`` is the counter the O(changed-path) append
+        cost assertions are built on.  Exact key lists are retained only for
+        *provisional* deltas (while re-finalization records) — they are what
+        a teardown deletes; permanent deltas are write-once and keeping
+        their key strings around would grow memory O(index) for nothing.
+        """
+        self.ingest_stats.store_keys_written += len(items)
+        if self._recording is not None:
+            self._delta_keys[delta_id] = [key for key, _value in items]
+            self._recording.delta_ids.append(delta_id)
 
     # -- cached reads --------------------------------------------------
 
@@ -724,6 +905,7 @@ class DeltaGraph:
         """Plan a singlepoint snapshot query (Section 4.3)."""
         components = self._normalize_components(components)
         with self._lock:
+            self._ensure_top()
             virtual = self.skeleton.add_virtual_node(time)
             try:
                 cost, steps = self.skeleton.shortest_path(
@@ -746,6 +928,7 @@ class DeltaGraph:
         the virtual-node ids in input order.
         """
         with self._lock:
+            self._ensure_top()
             virtual_nodes = [self.skeleton.add_virtual_node(t) for t in times]
             node_to_time = {v.id: t for v, t in zip(virtual_nodes, times)}
             try:
@@ -841,9 +1024,14 @@ class DeltaGraph:
 
     def _apply_recent_events(self, snapshot: GraphSnapshot, time: int,
                              components: Sequence[str]) -> None:
-        """Apply not-yet-indexed recent events relevant for ``time``."""
+        """Apply not-yet-indexed recent events relevant for ``time``.
+
+        The guard must be strict: a recent event may share the timestamp of
+        the newest sealed leaf (ties spanning a seal boundary), in which
+        case a query exactly at that time still needs it applied.
+        """
         if (self._last_indexed_time is not None
-                and time <= self._last_indexed_time):
+                and time < self._last_indexed_time):
             return
         if not len(self._recent_events):
             return
@@ -1130,6 +1318,7 @@ class DeltaGraph:
         aux = self.aux_indexes[index_name]
         component = f"aux:{index_name}"
         with self._lock:
+            self._ensure_top()
             virtual = self.skeleton.add_virtual_node(time)
             try:
                 cost, steps = self.skeleton.shortest_path(
@@ -1183,6 +1372,7 @@ class DeltaGraph:
         skeleton so that all subsequent queries benefit automatically.
         """
         with self._lock:
+            self._ensure_top()
             if node_id in self._materialized:
                 return self._materialized[node_id]
             if node_id not in self.skeleton.nodes:
@@ -1219,6 +1409,8 @@ class DeltaGraph:
 
     def materialize_roots(self) -> List[str]:
         """Materialize every hierarchy root (children of the super-root)."""
+        self._ensure_top()
+        self._materialization_policy = ("roots", None)
         ids = [n.id for n in self.skeleton.roots()]
         for node_id in ids:
             self.materialize(node_id)
@@ -1230,6 +1422,8 @@ class DeltaGraph:
         ``depth=1`` materializes the roots' children, ``depth=2`` their
         grandchildren (the configuration used in Figures 7 and 10).
         """
+        self._ensure_top()
+        self._materialization_policy = ("level", depth)
         frontier = [n.id for n in self.skeleton.roots()]
         for _ in range(depth):
             next_frontier: List[str] = []
@@ -1272,60 +1466,257 @@ class DeltaGraph:
         return sum(len(s) for s in self._materialized.values())
 
     # ==================================================================
-    # updates to the current graph (Section 6)
+    # live ingestion (Section 6, incremental maintenance)
     # ==================================================================
+    #
+    # The index is *extensible*: appends grow it in place, producing the
+    # same retrieval results a fresh bulk build over the longer trace
+    # would.  The machinery splits into three write-once/rebuildable tiers:
+    #
+    # 1. leaves, leaf-eventlists, and the interiors a full ``arity`` group
+    #    produces are permanent and write-once;
+    # 2. the ragged top of each hierarchy (the collapse of <arity open
+    #    groups plus the super-root attachment) is *provisional*: generation
+    #    stamped, recorded in a ``_ProvisionalRecord``, and rebuilt whenever
+    #    a seal adds a leaf;
+    # 3. retired provisional payloads survive in the store for one extra
+    #    generation before being purged, so a query planned before a seal
+    #    still reads every delta its plan references.
+    #
+    # Read-during-ingest contract: planning and appending serialize on the
+    # index lock, so no plan ever observes a half-updated skeleton; an
+    # already-planned query executes correctly concurrently with one seal
+    # (grace period above) — only a *second* seal may purge payloads the
+    # old plan still wants.  Single-writer, many-reader is the supported
+    # regime, matching the paper's update model.
 
-    def append_events(self, events: Iterable[Event]) -> None:
-        """Record new events as the network continues to evolve.
+    def append(self, event: Event) -> None:
+        """Ingest one live event (see :meth:`append_batch`)."""
+        self.append_batch((event,))
 
-        Events accumulate in a *recent eventlist*; whenever it reaches the
-        leaf-eventlist size ``L`` a new leaf (and eventlist edge) is appended
-        to the index, and whenever ``arity`` new leaves have accumulated they
-        are collapsed under a new interior node attached to the super-root.
+    def append_batch(self, events: Iterable[Event]) -> int:
+        """Ingest a batch of live events; returns the number appended.
+
+        Events accumulate in the *recent eventlist* (immediately visible to
+        queries at recent timepoints); under the default ``seal_policy`` of
+        ``"size"``, every ``events_per_leaf`` accumulated events seal a new
+        leaf: the chunk is written as a leaf-eventlist, the new leaf joins
+        the pending groups of every hierarchy (collapsing full groups into
+        permanent interiors exactly like bulk construction), and the
+        provisional hierarchy top is rebuilt.  Only the changed delta and
+        eventlist keys are written; exactly the affected cache groups are
+        invalidated (see :attr:`ingest_stats`).
         """
         with self._lock:
+            count = 0
             for event in events:
-                self._current_graph.apply_event(event)
+                # The recent-eventlist append validates chronological order;
+                # it must run before the current graph mutates so a rejected
+                # event cannot leave a phantom element behind.  The per-event
+                # counter bump keeps events_appended an exact prefix length
+                # even when a mid-batch event is rejected (GraphManager
+                # relies on that to keep the pool in sync on failure).
                 self._recent_events.append(event)
-            while len(self._recent_events) >= self.config.leaf_eventlist_size:
-                chunk = EventList(
-                    list(self._recent_events)[:self.config.leaf_eventlist_size])
-                remainder = list(self._recent_events)[
-                    self.config.leaf_eventlist_size:]
-                self._recent_events = EventList(remainder)
-                self._append_leaf(chunk)
+                self._current_graph.apply_event(event)
+                count += 1
+                self.ingest_stats.events_appended += 1
+            if count and self.config.seal_policy == "size":
+                self._seal_ready_leaves()
+            return count
 
-    def _append_leaf(self, chunk: EventList) -> None:
-        leaves = self.skeleton.leaves()
-        previous_leaf = leaves[-1]
-        index = next(self._leaf_counter)
+    def append_events(self, events: Iterable[Event]) -> None:
+        """Backwards-compatible alias of :meth:`append_batch`."""
+        self.append_batch(events)
+
+    def seal(self, partial: bool = True) -> int:
+        """Seal recent events into leaves now; returns leaves sealed.
+
+        Seals every full ``events_per_leaf`` chunk, then — when ``partial``
+        is true and recent events remain — one final partial leaf.  This is
+        the entry point of the ``"manual"`` seal policy and of shutdown
+        flushes; unlike automatic seals it re-finalizes eagerly, so every
+        delta the index needs is in the store when it returns.
+        """
+        with self._lock:
+            sealed = self._seal_ready_leaves()
+            if partial and len(self._recent_events):
+                self._seal_leaf(len(self._recent_events))
+                sealed += 1
+                self._top_dirty = True
+            self._ensure_top()
+            return sealed
+
+    def _seal_ready_leaves(self) -> int:
+        """Seal every full chunk; the top rebuild is deferred to query time.
+
+        Deferral is what makes append bursts cheap: sealing N leaves back to
+        back pays for N eventlists and the permanent collapses they trigger,
+        but only *one* provisional-top rebuild — at the next plan — instead
+        of N.  The index stays correct meanwhile: new leaves are reachable
+        through their eventlist edges from the already-attached history.
+        """
+        threshold = self.config.effective_events_per_leaf()
+        sealed = 0
+        while len(self._recent_events) >= threshold:
+            self._seal_leaf(threshold)
+            sealed += 1
+        if sealed:
+            self._top_dirty = True
+        return sealed
+
+    def _ensure_top(self) -> None:
+        """Rebuild the provisional top if seals left it dirty (lock held
+        by callers or reacquired reentrantly)."""
+        with self._lock:
+            if self._top_dirty:
+                self._top_dirty = False
+                self._refinalize()
+
+    def _seal_leaf(self, count: int) -> str:
+        """Carve ``count`` events off the recent eventlist into a new leaf.
+
+        Writes the leaf-eventlist (and its aux components), chains the leaf
+        behind the previous one, advances the aux states, and feeds the leaf
+        into the pending hierarchy groups — collapsing full groups into
+        permanent interiors.  The caller re-finalizes afterwards.
+        """
+        chunk = self._recent_events.pop_front(count)
+        if self.aux_indexes:
+            # Derive the chunk's aux events exactly as the bulk build would:
+            # replay the chunk over the previous leaf's graph, each event
+            # consulting the aux state *as of that leaf* (never a state from
+            # before an earlier seal — that is what keeps ingest-then-query
+            # conformant for auxiliary indexes when one batch spans several
+            # leaf boundaries).
+            aux_events: Dict[str, list] = {name: [] for name in self.aux_indexes}
+            base = (self._last_leaf_snapshot.copy()
+                    if self._last_leaf_snapshot is not None
+                    else GraphSnapshot.empty())
+            for event in chunk:
+                for name, aux in self.aux_indexes.items():
+                    produced = aux.create_aux_event(event, base,
+                                                    self._current_aux[name])
+                    if produced:
+                        aux_events[name].extend(produced)
+                base.apply_event(event)
+            for name, aux in self.aux_indexes.items():
+                self._current_aux[name] = aux.create_aux_snapshot(
+                    self._current_aux[name], aux_events[name])
+        else:
+            aux_events = None
         leaf_time = chunk.end_time
-        node = SkeletonNode(id=f"leaf:{index}", kind=NodeKind.LEAF, level=1,
-                            index=index, time=leaf_time)
-        self.skeleton.add_node(node)
-        eventlist_id = f"evl:{index - 1}"
-        stats = self._store_eventlist(eventlist_id, chunk, None)
+        # The graph at the new leaf time: the current graph minus the
+        # still-unindexed recent events (replayed backward).
+        snapshot = self._current_graph.copy(time=leaf_time)
+        if len(self._recent_events):
+            snapshot.apply_events(list(self._recent_events), forward=False)
+        previous_leaf_id = self._last_leaf_id
+        if previous_leaf_id is None:
+            raise DeltaGraphIndexError(
+                "cannot append to an index that was not built (no leaves)")
+        leaf_id = self._make_leaf(snapshot, leaf_time)
+        eventlist_id = f"evl:{self.skeleton.nodes[leaf_id].index - 1}"
+        stats = self._store_eventlist(eventlist_id, chunk, aux_events)
         self.skeleton.add_edge(SkeletonEdge(
-            source=previous_leaf.id, target=node.id, kind=EdgeKind.EVENTLIST,
+            source=previous_leaf_id, target=leaf_id, kind=EdgeKind.EVENTLIST,
             delta_id=eventlist_id, stats=stats, event_count=len(chunk)))
         self._last_indexed_time = leaf_time
-        # Reconstruct the snapshot at the new leaf time from the current
-        # graph minus the still-unindexed recent events.
-        snapshot = self._current_graph.copy(time=leaf_time)
-        snapshot.apply_events(list(self._recent_events), forward=False)
-        self._pending_new_leaves.append((node.id, snapshot))
-        if len(self._pending_new_leaves) >= self.config.arity:
-            function = self.config.resolved_functions()[0]
-            children = [(nid, snap, {}) for nid, snap in self._pending_new_leaves]
-            parent_id, parent_snapshot, _aux = self._create_interior(
-                children, function, 0, 2)
-            delta = Delta.between(GraphSnapshot.empty(), parent_snapshot)
-            delta_id = f"delta:super-root:update:{parent_id}"
-            stats = self._store_delta(delta_id, delta, None)
-            self.skeleton.add_edge(SkeletonEdge(
-                source=SUPER_ROOT_ID, target=parent_id, kind=EdgeKind.DELTA,
-                delta_id=delta_id, stats=stats))
-            self._pending_new_leaves = []
+        self.ingest_stats.leaves_sealed += 1
+        return leaf_id
+
+    # -- provisional hierarchy top -------------------------------------
+
+    def _refinalize(self) -> None:
+        """Rebuild the provisional top of every hierarchy.
+
+        Tears down the previous generation (skeleton nodes/edges removed
+        immediately; stored payloads retired for one generation), then
+        re-runs the ragged collapse + root attachment on a staged copy of
+        each hierarchy's pending groups.  Cost is O(height x arity), i.e.
+        bounded by the changed root-to-leaf path — never O(index).
+        """
+        rematerialize = self._teardown_provisional()
+        record = _ProvisionalRecord(generation=self._generation)
+        self._generation += 1
+        self._recording = record
+        # Recorded *before* building: if a store write fails mid-rebuild,
+        # the half-built top is still registered and the next rebuild's
+        # teardown removes it instead of orphaning it forever.
+        self._provisional = record
+        try:
+            for h, function in enumerate(self._functions):
+                staged = {level: list(entries)
+                          for level, entries in self._pending[h].items()
+                          if entries}
+                self._finalize_hierarchy(staged, function, h,
+                                         self.config.arity)
+        except BaseException:
+            # Schedule a retry at the next plan; the partial top tears down.
+            self._top_dirty = True
+            raise
+        finally:
+            self._recording = None
+        self.ingest_stats.refinalizes += 1
+        if rematerialize and self._materialization_policy is not None:
+            # Torn-down provisional nodes were materialized through one of
+            # the bulk helpers; restore the *configured* layout (roots or a
+            # level below them), not a hard-coded one.  Ad-hoc materialize()
+            # calls on provisional nodes lapse — their node is gone and no
+            # substitute can honestly stand in for it.
+            kind, depth = self._materialization_policy
+            if kind == "roots":
+                self.materialize_roots()
+            else:
+                self.materialize_level_below_root(depth)
+
+    def _teardown_provisional(self) -> bool:
+        """Remove the current provisional top; returns whether any of its
+        nodes had been materialized (so the caller can re-materialize)."""
+        self._purge_retired()
+        record = self._provisional
+        if record is None:
+            return False
+        rematerialize = False
+        for edge in record.edges:
+            self.skeleton.remove_edge(edge)
+        for node_id in record.node_ids:
+            if node_id in self._materialized:
+                rematerialize = True
+                self.unmaterialize(node_id)
+            if node_id in self.skeleton.nodes:
+                self.skeleton.remove_node(node_id)
+        for delta_id in record.delta_ids:
+            keys = self._delta_keys.pop(delta_id, [])
+            self._retired.append((delta_id, keys))
+        self.ingest_stats.interiors_retired += len(record.node_ids)
+        self._provisional = None
+        return rematerialize
+
+    def _purge_retired(self) -> int:
+        """Delete the store keys (and cache groups) retired one seal ago."""
+        if not self._retired:
+            return 0
+        retired, self._retired = self._retired, []
+        if self.cache is not None:
+            self.cache.invalidate_groups(
+                self._cache_group(delta_id) for delta_id, _keys in retired)
+        removed = 0
+        for _delta_id, keys in retired:
+            for key in keys:
+                self.store.delete(key)
+                removed += 1
+        self.ingest_stats.store_keys_deleted += removed
+        return removed
+
+    def purge_retired(self) -> int:
+        """Flush the read-during-ingest grace period now (e.g. at shutdown).
+
+        Returns the number of store keys deleted.  Callers that know no
+        query is in flight can reclaim retired payloads without waiting for
+        the next seal.
+        """
+        with self._lock:
+            return self._purge_retired()
 
     def current_graph(self) -> GraphSnapshot:
         """The up-to-date current graph maintained for ongoing updates."""
@@ -1338,6 +1729,7 @@ class DeltaGraph:
     def index_entry_count(self, components: Optional[Sequence[str]] = None
                           ) -> float:
         """Total number of delta/eventlist entries stored in the index."""
+        self._ensure_top()
         return self.skeleton.total_index_entries(components)
 
     def index_size_bytes(self) -> int:

@@ -356,6 +356,22 @@ class EventList:
         """Number of events with timestamp <= ``time``."""
         return self.index_after(time)
 
+    def pop_front(self, count: int) -> "EventList":
+        """Remove and return the first ``count`` events as a new EventList.
+
+        Used by the live-ingestion path to carve a sealed leaf-eventlist off
+        the front of the recent-events buffer without re-sorting either half
+        (both slices of a chronological list are chronological).
+        """
+        if count < 0:
+            raise EventError("count must be non-negative")
+        chunk = EventList.__new__(EventList)
+        chunk._events = self._events[:count]
+        chunk._times = self._times[:count]
+        self._events = self._events[count:]
+        self._times = self._times[count:]
+        return chunk
+
     def split_into_chunks(self, chunk_size: int) -> List["EventList"]:
         """Split into consecutive chunks of at most ``chunk_size`` events.
 

@@ -184,6 +184,24 @@ class DeltaGraphSkeleton:
         self._in[edge.target].append(edge)
         return edge
 
+    def remove_edge(self, edge: SkeletonEdge) -> bool:
+        """Remove one edge; returns whether it was present.
+
+        Tolerates edges that were already removed (e.g. as a side effect of
+        :meth:`remove_node` on one of their endpoints), which is what the
+        incremental-maintenance teardown relies on.
+        """
+        removed = False
+        out_edges = self._out.get(edge.source)
+        if out_edges is not None and edge in out_edges:
+            out_edges.remove(edge)
+            removed = True
+        in_edges = self._in.get(edge.target)
+        if in_edges is not None and edge in in_edges:
+            in_edges.remove(edge)
+            removed = True
+        return removed
+
     def remove_node(self, node_id: str) -> None:
         """Remove a node and every incident edge (used for virtual nodes)."""
         if node_id not in self.nodes:

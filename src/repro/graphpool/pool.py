@@ -123,6 +123,15 @@ class GraphPool:
         for key, value in snapshot.items():
             self._set_bit(self._entry_key(key, value), CURRENT_BIT)
 
+    def apply_current_events(self, events: Iterable[Event]) -> None:
+        """Apply a batch of live updates to the current graph's bits.
+
+        The GraphPool half of the managers' :meth:`ingest
+        <repro.query.managers.GraphManager.ingest>` entry point.
+        """
+        for event in events:
+            self.apply_current_event(event)
+
     def apply_current_event(self, event: Event) -> None:
         """Apply one live update to the current graph's bits.
 

@@ -124,7 +124,26 @@ class HistoryManager:
 
     def append_events(self, events: Iterable[Event]) -> None:
         """Feed live updates into the index's recent eventlist."""
-        self.index.append_events(events)
+        self.index.append_batch(events)
+
+    def ingest(self, events: Iterable[Event]) -> int:
+        """Ingest live events, growing the DeltaGraph in place.
+
+        Delegates to :meth:`DeltaGraph.append_batch
+        <repro.core.deltagraph.DeltaGraph.append_batch>`: events become
+        immediately queryable through the recent eventlist, full
+        ``events_per_leaf`` chunks seal new leaves and propagate recomputed
+        deltas up the hierarchy, and exactly the affected cache groups are
+        invalidated.  Read-during-ingest contract: appends and query
+        planning serialize on the index lock, and payloads a pre-seal plan
+        references survive one further seal — single-writer, many-reader.
+        Returns the number of events ingested.
+        """
+        return self.index.append_batch(events)
+
+    def seal(self, partial: bool = True) -> int:
+        """Force-seal buffered recent events into leaves (see DeltaGraph.seal)."""
+        return self.index.seal(partial=partial)
 
 
 class GraphManager:
@@ -296,15 +315,37 @@ class GraphManager:
     # live updates
     # ------------------------------------------------------------------
 
+    def ingest(self, events: Iterable[Event]) -> int:
+        """Ingest live events into the index *and* the pool's current graph.
+
+        The single entry point for live traffic: the DeltaGraph grows in
+        place (sealing leaves and recomputing hierarchy deltas as needed,
+        see :meth:`HistoryManager.ingest`) and the GraphPool's current-graph
+        bits track every event, so analyses over the current graph and
+        historical queries stay consistent.  Returns the number ingested.
+        """
+        batch = list(events)
+        before = self.index.ingest_stats.events_appended
+        try:
+            count = self.history.ingest(batch)
+        except BaseException:
+            # Keep the pool's current graph in lock-step with whatever
+            # prefix the index actually accepted before failing (a rejected
+            # out-of-order event, a store error during a seal): the index's
+            # per-event counter is the exact prefix length.
+            applied = self.index.ingest_stats.events_appended - before
+            self.pool.apply_current_events(batch[:applied])
+            raise
+        self.pool.apply_current_events(batch)
+        return count
+
     def apply_update(self, event: Event) -> None:
         """Apply a live update to both the index and the pool's current graph."""
-        self.history.append_events([event])
-        self.pool.apply_current_event(event)
+        self.ingest([event])
 
     def apply_updates(self, events: Iterable[Event]) -> None:
         """Apply a batch of live updates."""
-        for event in events:
-            self.apply_update(event)
+        self.ingest(events)
 
 
 class QueryManager:

@@ -8,14 +8,19 @@ appends a new record (the index points at the latest one) and ``delete``
 appends a tombstone.  :meth:`compact` rewrites the file keeping only live
 records.
 
-The design intentionally favours simplicity and crash-free single-process
-use (sufficient for experiments) over full durability guarantees.
+Crash safety: a torn single record at the tail of the log is truncated away
+on reopen, and :meth:`put_many` batches are atomic — the serialized batch is
+journaled to a sidecar file before the append, and recovery either redoes
+the whole batch from the journal or discards it entirely.  The default
+guarantees cover process crashes; pass ``fsync_batches=True`` for
+power-failure durability.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import zlib
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import KeyNotFoundError, StorageError
@@ -26,6 +31,11 @@ __all__ = ["DiskKVStore"]
 
 _HEADER = struct.Struct(">II")  # key length, value length
 _TOMBSTONE = 0xFFFFFFFF
+
+#: Sidecar journal framing for atomic batches:
+#: magic | base offset (8) | payload length (8) | payload crc32 (4) | payload.
+_JOURNAL_MAGIC = b"DGJ1"
+_JOURNAL_HEADER = struct.Struct(">QQI")
 
 
 class DiskKVStore(KVStore):
@@ -41,16 +51,28 @@ class DiskKVStore(KVStore):
         compression used in the paper's experiments).
     codec:
         Explicit codec overriding ``compress``.
+    fsync_batches:
+        When true, the batch journal and data file are fsync'd on every
+        :meth:`put_many`, extending the batch-atomicity guarantee from
+        process crashes (the default, buffered flushes) to kernel/power
+        failures, at a large per-batch cost.
     """
 
     def __init__(self, path: str, compress: bool = True,
-                 codec: Optional[Codec] = None) -> None:
+                 codec: Optional[Codec] = None,
+                 fsync_batches: bool = False) -> None:
         self.path = path
         self._codec = codec if codec is not None else default_codec(compress)
         self._index: Dict[StorageKey, Tuple[int, int]] = {}
+        #: When true, every committed batch is fsync'd to the data file
+        #: before its journal is cleared (power-failure durability); the
+        #: default only guarantees atomicity across *process* crashes.
+        self._fsync_batches = fsync_batches
+        self._journal_path = path + ".journal"
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         self._file = open(path, "a+b")
+        self._recover_journal()
         self._rebuild_index()
 
     # ------------------------------------------------------------------
@@ -58,27 +80,120 @@ class DiskKVStore(KVStore):
     # ------------------------------------------------------------------
 
     def _rebuild_index(self) -> None:
-        """Scan the data file and rebuild the key -> offset index."""
+        """Scan the data file and rebuild the key -> offset index.
+
+        A torn tail — a record cut short by a crash mid-append — is
+        truncated away rather than rejected: everything before it is intact
+        (records are self-framing and appended in order), and batch writes
+        are protected separately by the journal (see :meth:`put_many`).
+        """
         self._index.clear()
-        self._file.seek(0, os.SEEK_SET)
+        self._file.flush()
+        size = os.fstat(self._file.fileno()).st_size
         offset = 0
-        while True:
-            header = self._file.read(_HEADER.size)
-            if not header:
+        good = 0
+        while offset + _HEADER.size <= size:
+            self._file.seek(offset, os.SEEK_SET)
+            key_len, value_len = _HEADER.unpack(self._file.read(_HEADER.size))
+            key_end = offset + _HEADER.size + key_len
+            if key_end > size:
                 break
-            if len(header) < _HEADER.size:
-                raise StorageError(f"truncated record header in {self.path}")
-            key_len, value_len = _HEADER.unpack(header)
-            key = self._file.read(key_len).decode("utf-8")
+            try:
+                key = self._file.read(key_len).decode("utf-8")
+            except UnicodeDecodeError:
+                raise StorageError(
+                    f"corrupt record key at offset {offset} in {self.path}")
             if value_len == _TOMBSTONE:
                 self._index.pop(key, None)
-                offset = self._file.tell()
+                offset = good = key_end
                 continue
-            value_offset = self._file.tell()
-            self._file.seek(value_len, os.SEEK_CUR)
-            self._index[key] = (value_offset, value_len)
-            offset = self._file.tell()
+            if key_end + value_len > size:
+                break
+            self._index[key] = (key_end, value_len)
+            offset = good = key_end + value_len
+        if good < size:
+            self._file.truncate(good)
         self._file.seek(0, os.SEEK_END)
+
+    # ------------------------------------------------------------------
+    # batch journal (atomic put_many)
+    # ------------------------------------------------------------------
+
+    def _write_journal(self, base_offset: int, payload: bytes) -> None:
+        """Persist the batch to the sidecar journal before touching the log.
+
+        The journal is written and fsync'd *first*; only then is the batch
+        appended to the data file.  Crash recovery therefore sees either a
+        complete journal (redo: truncate the data file to ``base_offset``
+        and re-append the whole batch) or an incomplete one (the data file
+        was never touched: discard the journal) — the batch is applied
+        all-or-nothing.
+        """
+        with open(self._journal_path, "wb") as handle:
+            handle.write(_JOURNAL_MAGIC)
+            handle.write(_JOURNAL_HEADER.pack(base_offset, len(payload),
+                                              zlib.crc32(payload)))
+            handle.write(payload)
+            handle.flush()
+            if self._fsync_batches:
+                os.fsync(handle.fileno())
+
+    def _remove_journal(self, durable: bool) -> None:
+        """Unlink the journal; with ``durable``, fsync the directory too.
+
+        Without the directory fsync a power failure can resurrect an
+        already-committed journal, whose redo would truncate away records
+        written *after* the batch — so every removal on a durability-mode
+        store (and every removal during recovery, which precedes new
+        writes of a session) must reach disk before writes continue.
+        """
+        try:
+            os.remove(self._journal_path)
+        except FileNotFoundError:  # pragma: no cover - already cleared
+            return
+        if durable:
+            directory = os.path.dirname(os.path.abspath(self._journal_path))
+            dir_fd = os.open(directory, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+
+    def _clear_journal(self) -> None:
+        if self._fsync_batches:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        self._remove_journal(durable=self._fsync_batches)
+
+    def _recover_journal(self) -> None:
+        """Redo or discard an interrupted :meth:`put_many` batch."""
+        try:
+            with open(self._journal_path, "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            return
+        header_end = len(_JOURNAL_MAGIC) + _JOURNAL_HEADER.size
+        payload = None
+        base_offset = 0
+        if blob.startswith(_JOURNAL_MAGIC) and len(blob) >= header_end:
+            base_offset, length, crc = _JOURNAL_HEADER.unpack(
+                blob[len(_JOURNAL_MAGIC):header_end])
+            candidate = blob[header_end:header_end + length]
+            if len(candidate) == length and zlib.crc32(candidate) == crc:
+                payload = candidate
+        if payload is not None:
+            # Complete journal: the append may be missing, partial, or even
+            # complete — redoing from base_offset is idempotent either way.
+            self._file.truncate(base_offset)
+            self._file.seek(0, os.SEEK_END)
+            self._file.write(payload)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        # Incomplete journal: the crash happened before the journal was
+        # durable, so the data file was never touched by the batch.
+        # Recovery removal is always made durable — it precedes this
+        # session's writes, which a resurrected journal would destroy.
+        self._remove_journal(durable=True)
 
     # ------------------------------------------------------------------
     # KVStore interface
@@ -171,11 +286,17 @@ class DiskKVStore(KVStore):
         return out
 
     def put_many(self, items: Iterable[Tuple[StorageKey, object]]) -> None:
-        """Append a batch of records with a single write syscall."""
+        """Append a batch of records atomically, with one write syscall.
+
+        The serialized batch goes to a sidecar journal (fsync'd) before the
+        data-file append, so a crash at any point leaves the store with
+        either the whole batch or none of it after reopening — a DeltaGraph
+        leaf seal can never leave a half-updated skeleton on disk.
+        """
         chunks: List[bytes] = []
         new_offsets: List[Tuple[StorageKey, int, int]] = []
         self._file.seek(0, os.SEEK_END)
-        position = self._file.tell()
+        base = position = self._file.tell()
         for key, value in items:
             payload = self._codec.encode(value)
             encoded_key = key.encode("utf-8")
@@ -186,9 +307,29 @@ class DiskKVStore(KVStore):
             position = value_offset + len(payload)
         if not chunks:
             return
-        self._file.write(b"".join(chunks))
+        blob = b"".join(chunks)
+        self._write_journal(base, blob)
+        try:
+            self._file.write(blob)
+            self._file.flush()
+        except BaseException:
+            # In-process failure (ENOSPC, interrupt): the caller sees the
+            # error and carries on using this store, so the batch must be
+            # rolled back *now* — leaving the journal would make the next
+            # reopen resurrect a batch the caller believes failed (and its
+            # redo-truncate would destroy every record written after it).
+            try:
+                self._file.truncate(base)
+                self._file.seek(0, os.SEEK_END)
+            finally:
+                try:
+                    self._remove_journal(durable=self._fsync_batches)
+                except OSError:  # pragma: no cover - cleanup best effort
+                    pass
+            raise
         for key, offset, length in new_offsets:
             self._index[key] = (offset, length)
+        self._clear_journal()
 
     def delete(self, key: StorageKey) -> None:
         if key not in self._index:

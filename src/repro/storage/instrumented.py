@@ -67,6 +67,8 @@ class IOStats:
     #: Number of batched multi-key reads (each also counts its keys in
     #: ``gets``), so callers can tell "N point reads" from "one N-key sweep".
     batch_gets: int = 0
+    #: Number of key deletions (the incremental-maintenance purge path).
+    deletes: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -77,12 +79,13 @@ class IOStats:
         self.simulated_seconds = 0.0
         self.wall_seconds = 0.0
         self.batch_gets = 0
+        self.deletes = 0
 
     def snapshot(self) -> "IOStats":
         """A copy of the current counters."""
         return IOStats(self.gets, self.puts, self.bytes_read,
                        self.bytes_written, self.simulated_seconds,
-                       self.wall_seconds, self.batch_gets)
+                       self.wall_seconds, self.batch_gets, self.deletes)
 
     def __sub__(self, other: "IOStats") -> "IOStats":
         return IOStats(self.gets - other.gets, self.puts - other.puts,
@@ -90,7 +93,8 @@ class IOStats:
                        self.bytes_written - other.bytes_written,
                        self.simulated_seconds - other.simulated_seconds,
                        self.wall_seconds - other.wall_seconds,
-                       self.batch_gets - other.batch_gets)
+                       self.batch_gets - other.batch_gets,
+                       self.deletes - other.deletes)
 
 
 def _approx_size(value: object) -> int:
@@ -208,6 +212,7 @@ class InstrumentedKVStore(KVStore):
 
     def delete(self, key: StorageKey) -> None:
         self.inner.delete(key)
+        self.stats.deletes += 1
 
     def keys(self) -> Iterator[StorageKey]:
         return self.inner.keys()

@@ -243,3 +243,221 @@ class TestInstrumentedStore:
             store.get(f"k{i}")
         assert store.stats.simulated_seconds == pytest.approx(10 * 0.01)
         assert batched < store.stats.simulated_seconds
+
+
+class TestDiskStoreCrashSafety:
+    """Fault injection for the batch journal and torn-tail recovery.
+
+    A DeltaGraph leaf seal persists its eventlist and recomputed deltas via
+    ``put_many``; these tests prove a crash at any point of that write leaves
+    the store with either the whole batch or none of it — never a
+    half-updated skeleton.
+    """
+
+    @staticmethod
+    def _encode_batch(store: DiskKVStore, items) -> bytes:
+        """The exact record bytes ``put_many`` would append for ``items``."""
+        import struct as _struct
+        chunks = []
+        for key, value in items:
+            payload = store._codec.encode(value)
+            encoded_key = key.encode("utf-8")
+            chunks.append(_struct.pack(">II", len(encoded_key), len(payload)))
+            chunks.append(encoded_key)
+            chunks.append(payload)
+        return b"".join(chunks)
+
+    def test_crash_mid_batch_append_redoes_whole_batch(self, tmp_path):
+        """A *process kill* mid-append (journal durable, data torn) redoes.
+
+        Simulated by constructing the exact on-disk state such a kill leaves
+        behind: a complete journal plus a partially appended batch.
+        """
+        import struct as _struct
+        import zlib as _zlib
+        from repro.storage.disk_store import _JOURNAL_HEADER, _JOURNAL_MAGIC
+
+        path = str(tmp_path / "crash.db")
+        store = DiskKVStore(path)
+        store.put_many([("seed/a", 1), ("seed/b", 2)])
+        batch = [(f"batch/{i}", {"payload": i}) for i in range(8)]
+        blob = self._encode_batch(store, batch)
+        store.flush()
+        base = os.path.getsize(path)
+        store.close()
+        with open(path + ".journal", "wb") as handle:
+            handle.write(_JOURNAL_MAGIC)
+            handle.write(_JOURNAL_HEADER.pack(base, len(blob),
+                                              _zlib.crc32(blob)))
+            handle.write(blob)
+        with open(path, "ab") as handle:
+            handle.write(blob[:10])  # the append died 10 bytes in
+
+        with DiskKVStore(path) as reopened:
+            # Prior data intact, and the interrupted batch applied in full.
+            assert reopened.get("seed/a") == 1
+            assert reopened.get("seed/b") == 2
+            for key, value in batch:
+                assert reopened.get(key) == value
+        assert not os.path.exists(path + ".journal")
+
+    def test_failed_put_many_rolls_back_in_process(self, tmp_path):
+        """An in-process append failure rolls back: no journal left behind,
+        the store stays usable, and reopening must NOT resurrect the batch
+        (which would destroy records written after the failure)."""
+        path = str(tmp_path / "fail.db")
+        store = DiskKVStore(path)
+        store.put("seed/a", 1)
+
+        class _Boom(RuntimeError):
+            pass
+
+        original_write = store._file.write
+
+        def failing_write(blob):
+            original_write(blob[:5])
+            raise _Boom()
+
+        store._file.write = failing_write
+        with pytest.raises(_Boom):
+            store.put_many([("batch/x", 10), ("batch/y", 20)])
+        store._file.write = original_write
+        # Rolled back in place: no journal, no torn bytes, store usable.
+        assert not os.path.exists(path + ".journal")
+        assert not store.contains("batch/x")
+        store.put("after/z", 99)
+        assert store.get("after/z") == 99
+        store.close()
+
+        with DiskKVStore(path) as reopened:
+            assert reopened.get("seed/a") == 1
+            assert reopened.get("after/z") == 99, \
+                "post-failure records must survive reopen"
+            assert not reopened.contains("batch/x")
+            assert not reopened.contains("batch/y")
+
+    def test_crash_mid_journal_write_drops_whole_batch(self, tmp_path):
+        path = str(tmp_path / "crash.db")
+        store = DiskKVStore(path)
+        store.put_many([("seed/a", 1)])
+        store.close()
+        # A journal cut short (crash while writing it): the data file was
+        # never touched, so recovery must discard the batch entirely.
+        with open(path + ".journal", "wb") as handle:
+            handle.write(b"DGJ1" + b"\x00" * 7)  # header cut short
+
+        with DiskKVStore(path) as reopened:
+            assert reopened.get("seed/a") == 1
+            assert reopened.size() == 1
+        assert not os.path.exists(path + ".journal")
+
+    def test_crash_after_append_before_journal_clear(self, tmp_path):
+        """Redo is idempotent: a complete append + surviving journal."""
+        path = str(tmp_path / "crash.db")
+        store = DiskKVStore(path)
+        batch = [(f"k/{i}", i) for i in range(5)]
+        store.put_many(batch)
+        store.close()
+        # Resurrect the journal as if the crash hit right before its removal.
+        import struct as _struct
+        import zlib as _zlib
+        from repro.storage.disk_store import _JOURNAL_HEADER, _JOURNAL_MAGIC
+        with open(path, "rb") as handle:
+            data = handle.read()
+        payload = data  # the whole file is exactly the batch
+        with open(path + ".journal", "wb") as handle:
+            handle.write(_JOURNAL_MAGIC)
+            handle.write(_JOURNAL_HEADER.pack(0, len(payload),
+                                              _zlib.crc32(payload)))
+            handle.write(payload)
+
+        with DiskKVStore(path) as reopened:
+            for key, value in batch:
+                assert reopened.get(key) == value
+            assert reopened.size() == len(batch)
+        assert not os.path.exists(path + ".journal")
+
+    def test_torn_single_put_truncated_on_reopen(self, tmp_path):
+        path = str(tmp_path / "torn.db")
+        store = DiskKVStore(path)
+        store.put("keep/a", "value")
+        store.flush()
+        store.close()
+        size_before = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x00\x00\x05ab")  # half a record header+key
+
+        with DiskKVStore(path) as reopened:
+            assert reopened.get("keep/a") == "value"
+            assert reopened.size() == 1
+        assert os.path.getsize(path) == size_before
+
+    def test_fsync_batches_knob(self, tmp_path):
+        path = str(tmp_path / "fsync.db")
+        with DiskKVStore(path, fsync_batches=True) as store:
+            store.put_many([("a", 1), ("b", 2)])
+            assert store.get("a") == 1
+        with DiskKVStore(path) as reopened:
+            assert reopened.get("b") == 2
+
+    def test_ingest_seal_is_atomic_on_disk(self, tmp_path):
+        """End to end: a crash mid-seal leaves only complete write batches."""
+        from repro.core.deltagraph import DeltaGraph
+        from repro.core.events import new_node
+
+        events = [new_node(t, t) for t in range(1, 81)]
+        fresh = [new_node(80 + i, 1000 + i) for i in range(1, 21)]
+
+        # Clean twin run: record the batches the seal writes, in order.
+        clean_store = DiskKVStore(str(tmp_path / "clean.db"))
+        clean = DeltaGraph.build(events, store=clean_store,
+                                 leaf_eventlist_size=20, arity=2)
+        batches: list = []
+        original_put_many = clean_store.put_many
+
+        def recording_put_many(items):
+            items = list(items)
+            batches.append([key for key, _ in items])
+            original_put_many(items)
+
+        clean_store.put_many = recording_put_many
+        clean.append_batch(fresh)
+        # Empty batches (all-empty delta pieces) never reach the file; the
+        # first non-empty one is the write the crashed run dies in.
+        first_batch = next(b for b in batches if b)
+
+        # Crashed run: identical index, but the first batch write of the
+        # seal dies 3 bytes into its data-file append.
+        path = str(tmp_path / "seal.db")
+        store = DiskKVStore(path)
+        index = DeltaGraph.build(events, store=store, leaf_eventlist_size=20,
+                                 arity=2)
+        keys_before = set(store.keys())
+
+        class _Boom(RuntimeError):
+            pass
+
+        original_write = store._file.write
+
+        def failing_write(blob):
+            original_write(blob[:3])
+            raise _Boom()
+
+        store._file.write = failing_write
+        with pytest.raises(_Boom):
+            index.append_batch(fresh)
+        store._file.write = original_write
+        store._file.flush()
+        store._file.close()
+
+        with DiskKVStore(path) as reopened:
+            keys_after = set(reopened.keys())
+            assert not keys_before - keys_after, "prior index data lost"
+            # The in-process failure rolled the interrupted batch back:
+            # the store holds exactly the pre-seal state — all-or-nothing,
+            # never a torn subset.  (first_batch documents what *would*
+            # have landed; none of it may appear partially.)
+            assert keys_after == keys_before
+            assert not (set(first_batch) & keys_after) - keys_before
+            for key in keys_after:
+                reopened.get(key)  # every record decodes
