@@ -1,0 +1,177 @@
+"""Scale characteristics of the time-sharded federation, in op counts.
+
+Three claims, all asserted on deterministic
+:class:`~repro.storage.instrumented.InstrumentedKVStore` counters (never
+wall-clock; single-core CI boxes make timing flaky):
+
+1. **Isolation** — a query routed to one era shard reads *zero* keys from
+   every other shard's store: sharding partitions the I/O, not just the
+   namespace.
+2. **Parallel-build neutrality** — building an N-shard federation issues
+   exactly the same total store operations as N independent per-era builds:
+   the fan-out adds no hidden I/O.
+3. **Bounded cross-shard multipoint overhead** — a point-set spanning k
+   shards costs exactly the sum of the k per-shard sub-queries (each one a
+   shard-local Steiner plan with one batched prefetch sweep); shards outside
+   the span are never touched.
+
+Parametrized at two ``REPRO_BENCH_EVENTS``-derived sizes so the recorded
+series documents how the counters scale with history length.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import BENCH_EVENTS
+
+from repro.core.deltagraph import DeltaGraph
+from repro.core.snapshot import GraphSnapshot
+from repro.datasets.coauthorship import (
+    CoauthorshipConfig,
+    generate_coauthorship_trace,
+)
+from repro.sharding import EventCountPolicy, ShardedHistoryIndex
+from repro.storage.instrumented import InstrumentedKVStore
+from repro.storage.memory_store import InMemoryKVStore
+
+LEAF_SIZE = 400
+ARITY = 2
+TARGET_SHARDS = 4
+
+SIZES = [max(BENCH_EVENTS // 2, 4000), BENCH_EVENTS]
+
+
+def _federation(num_events: int):
+    """A ~TARGET_SHARDS-shard federation over instrumented stores."""
+    events = generate_coauthorship_trace(CoauthorshipConfig(
+        total_events=num_events, num_years=40, attrs_per_node=3, seed=29))
+    stores = {}
+
+    def factory(shard_id: int) -> InstrumentedKVStore:
+        stores[shard_id] = InstrumentedKVStore(InMemoryKVStore())
+        return stores[shard_id]
+
+    policy = EventCountPolicy(max(num_events // TARGET_SHARDS, 1))
+    index = ShardedHistoryIndex.build(
+        events, policy, store_factory=factory, build_workers=4,
+        leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+    build_puts = {sid: store.stats.puts for sid, store in stores.items()}
+    for store in stores.values():
+        store.reset_stats()
+    return events, index, stores, build_puts, policy
+
+
+@pytest.fixture(scope="module")
+def federations():
+    return {size: _federation(size) for size in SIZES}
+
+
+@pytest.mark.parametrize("num_events", SIZES, ids=["half", "full"])
+def test_shard_local_query_reads_zero_foreign_keys(num_events, federations,
+                                                   recorder):
+    events, index, stores, _build_puts, _policy = federations[num_events]
+    assert len(index.shards) >= 3, "workload must span several shards"
+    probe_gets = {}
+    for shard in index.shards:
+        hi = shard.t_hi - 1 if shard.t_hi is not None else shard.last_time
+        time = (shard.t_lo + hi) // 2
+        owner = index.shard_for(time)
+        assert owner is shard, "probe time must stay inside the era"
+        for store in stores.values():
+            store.reset_stats()
+        index.get_snapshot(time)
+        for shard_id, store in stores.items():
+            if shard_id == shard.shard_id:
+                assert store.stats.gets > 0, \
+                    "the owning shard must serve the query"
+            else:
+                assert store.stats.gets == 0, (
+                    f"query @ {time} (era {shard.shard_id}) read "
+                    f"{store.stats.gets} keys from shard {shard_id}")
+                assert store.stats.batch_gets == 0
+        probe_gets[shard.shard_id] = stores[shard.shard_id].stats.gets
+    recorder(f"sharding_isolation_{num_events}", {
+        "events": num_events,
+        "shards": len(index.shards),
+        "per_probe_owner_gets": probe_gets,
+        "foreign_gets": 0,
+    })
+
+
+@pytest.mark.parametrize("num_events", SIZES, ids=["half", "full"])
+def test_parallel_build_issues_same_ops_as_independent_builds(
+        num_events, federations, recorder):
+    events, index, _stores, build_puts, policy = federations[num_events]
+    eras = policy.split(events)
+    assert len(eras) == len(index.shards)
+
+    independent_puts = {}
+    current = GraphSnapshot.empty()
+    for position, (t_lo, era_events) in enumerate(eras):
+        store = InstrumentedKVStore(InMemoryKVStore())
+        base = None if position == 0 else current.copy()
+        DeltaGraph.build(era_events, store=store, initial_graph=base,
+                         start_time=min(t_lo, era_events[0].time) - 1,
+                         leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+        independent_puts[position] = store.stats.puts
+        for event in era_events:
+            current.apply_event(event)
+
+    assert build_puts == independent_puts, (
+        "the parallel federation build must issue exactly the per-era "
+        "builds' store writes, shard for shard")
+    recorder(f"sharding_build_ops_{num_events}", {
+        "events": num_events,
+        "shards": len(eras),
+        "federation_puts": build_puts,
+        "independent_puts": independent_puts,
+        "total_puts": sum(build_puts.values()),
+    })
+
+
+@pytest.mark.parametrize("num_events", SIZES, ids=["half", "full"])
+def test_cross_shard_multipoint_overhead_is_bounded_by_span(
+        num_events, federations, recorder):
+    events, index, stores, _build_puts, _policy = federations[num_events]
+    spanned = index.shards[:3]
+    outside = index.shards[3:]
+    times = []
+    for shard in spanned:
+        hi = shard.t_hi - 1 if shard.t_hi is not None else shard.last_time
+        times.extend([shard.t_lo, (shard.t_lo + hi) // 2])
+
+    for store in stores.values():
+        store.reset_stats()
+    index.get_snapshots(times)
+    fanout_gets = {s.shard_id: stores[s.shard_id].stats.gets
+                   for s in spanned}
+    fanout_batches = sum(stores[s.shard_id].stats.batch_gets
+                         for s in spanned)
+    for shard in outside:
+        assert stores[shard.shard_id].stats.gets == 0, \
+            "multipoint must not touch shards outside the point-set's span"
+
+    # Exactly the per-shard sub-queries, no cross-shard amplification: the
+    # fan-out's reads per spanned shard equal a direct shard-local
+    # multipoint over that shard's sub-set of timepoints.
+    direct_gets = {}
+    for shard in spanned:
+        sub_times = [t for t in times if index.shard_for(t) is shard]
+        for store in stores.values():
+            store.reset_stats()
+        shard.index.get_snapshots(sub_times)
+        direct_gets[shard.shard_id] = stores[shard.shard_id].stats.gets
+    assert fanout_gets == direct_gets, (
+        "cross-shard fan-out must cost exactly the sum of its per-shard "
+        "sub-queries")
+    # One batched prefetch sweep per spanned shard bounds the overhead by
+    # the number of shards spanned.
+    assert fanout_batches <= len(spanned)
+    recorder(f"sharding_multipoint_{num_events}", {
+        "events": num_events,
+        "points": len(times),
+        "shards_spanned": len(spanned),
+        "fanout_gets": fanout_gets,
+        "direct_gets": direct_gets,
+        "prefetch_batches": fanout_batches,
+    })

@@ -34,6 +34,14 @@ from .errors import (
     StorageError,
     TimeOutOfRangeError,
 )
+from .sharding import (
+    EraShard,
+    EventCountPolicy,
+    ExplicitBoundariesPolicy,
+    ShardPolicy,
+    ShardedHistoryIndex,
+    TimeSpanPolicy,
+)
 from .storage import DiskKVStore, InMemoryKVStore, InstrumentedKVStore
 
 __version__ = "1.0.0"
@@ -56,6 +64,12 @@ __all__ = [
     "ReproError",
     "StorageError",
     "TimeOutOfRangeError",
+    "EraShard",
+    "EventCountPolicy",
+    "ExplicitBoundariesPolicy",
+    "ShardPolicy",
+    "ShardedHistoryIndex",
+    "TimeSpanPolicy",
     "DiskKVStore",
     "InMemoryKVStore",
     "InstrumentedKVStore",

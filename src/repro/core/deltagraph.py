@@ -435,7 +435,8 @@ class DeltaGraph:
               codec: Optional[str] = None,
               multipoint_workers: int = 1,
               events_per_leaf: Optional[int] = None,
-              seal_policy: str = "size") -> "DeltaGraph":
+              seal_policy: str = "size",
+              start_time: Optional[int] = None) -> "DeltaGraph":
         """Bulk-construct a DeltaGraph from a chronological event trace.
 
         Parameters mirror the paper's construction inputs: the eventlist
@@ -449,7 +450,13 @@ class DeltaGraph:
         :class:`~repro.cache.delta_cache.DeltaCache`.  ``codec`` selects the
         stored-payload serialization (see :class:`DeltaGraphConfig`);
         ``multipoint_workers`` sets the default parallelism of
-        :meth:`get_snapshots`.
+        :meth:`get_snapshots`.  ``start_time`` pins the timestamp of leaf 0
+        (the ``G_0`` snapshot); by default it is inferred as one tick before
+        the first event.  An era shard of a
+        :class:`~repro.sharding.federation.ShardedHistoryIndex` opens with a
+        *non-empty* ``initial_graph`` whose history lives in earlier shards
+        — possibly with no events of its own yet — so the inference has
+        nothing to go on and the shard passes its era boundary explicitly.
         """
         config = DeltaGraphConfig(
             leaf_eventlist_size=leaf_eventlist_size, arity=arity,
@@ -460,11 +467,12 @@ class DeltaGraph:
             events_per_leaf=events_per_leaf, seal_policy=seal_policy)
         index = cls(store=store, config=config, cache=cache)
         index._bulk_load(EventList(events), aux_indexes or [],
-                         initial_graph=initial_graph)
+                         initial_graph=initial_graph, start_time=start_time)
         return index
 
     def _bulk_load(self, events: EventList, aux_indexes: Sequence,
-                   initial_graph: Optional[GraphSnapshot]) -> None:
+                   initial_graph: Optional[GraphSnapshot],
+                   start_time: Optional[int] = None) -> None:
         leaf_size = self.config.leaf_eventlist_size
         for aux in aux_indexes:
             self.aux_indexes[aux.name] = aux
@@ -473,9 +481,14 @@ class DeltaGraph:
                    else GraphSnapshot.empty())
         self._current_aux = {aux.name: aux.initial_snapshot()
                              for aux in aux_indexes}
-        start_time = events[0].time - 1 if len(events) else 0
-        if initial_graph is not None and initial_graph.time is not None:
-            start_time = min(start_time, initial_graph.time)
+        if start_time is None:
+            start_time = events[0].time - 1 if len(events) else 0
+            if initial_graph is not None and initial_graph.time is not None:
+                start_time = min(start_time, initial_graph.time)
+        elif len(events) and events[0].time <= start_time:
+            raise ConfigurationError(
+                f"start_time {start_time} must precede the first event "
+                f"(t={events[0].time})")
         current.time = start_time
 
         # Leaf 0 corresponds to the initial graph G_0.
@@ -993,6 +1006,10 @@ class DeltaGraph:
             snapshot.apply_events(events, forward=step.forward)
             return snapshot
         if edge.kind == EdgeKind.VIRTUAL:
+            if edge.delta_id is None:
+                # Zero-replay anchor of a skeleton that has no eventlist
+                # edges yet (see DeltaGraphSkeleton.add_virtual_node).
+                return snapshot
             cache_key = (edge.delta_id, False)
             if cache_key not in delta_cache:
                 delta_cache[cache_key] = self._fetch_events(
@@ -1245,16 +1262,24 @@ class DeltaGraph:
 
     def get_interval_graph(self, start: int, end: int,
                            components: Optional[Sequence[str]] = None,
-                           include_transient: bool = True) -> GraphSnapshot:
+                           include_transient: bool = True,
+                           into: Optional[GraphSnapshot] = None
+                           ) -> GraphSnapshot:
         """Graph over the elements *added* during ``[start, end)``.
 
         Implements ``GetHistGraphInterval``: it also surfaces transient
-        events (which singlepoint retrieval never returns).
+        events (which singlepoint retrieval never returns).  ``into``
+        accumulates this index's events on top of an earlier snapshot
+        instead of starting empty — the cross-shard router chains the era
+        shards spanning an interval through it, so attribute tombstones in
+        a later era (synthesized when a deletion destroys attributes) erase
+        entries accumulated from an earlier one, exactly as one
+        chronological replay would.
         """
         components = list(self._normalize_components(components))
         if include_transient and COMPONENT_TRANSIENT not in components:
             components.append(COMPONENT_TRANSIENT)
-        snapshot = GraphSnapshot.empty()
+        snapshot = into if into is not None else GraphSnapshot.empty()
         covering: List[SkeletonEdge] = []
         for edge in self.skeleton.eventlist_edges():
             left_time = self.skeleton.nodes[edge.source].time
@@ -1271,35 +1296,43 @@ class DeltaGraph:
             events = self._fetch_events(edge.delta_id, components,
                                         local=scratch)
             for event in events:
-                if not start <= event.time < end:
-                    continue
-                if event.type.is_transient:
-                    replay = Event(
-                        EventType.NODE_ADD if event.type == EventType.TRANSIENT_NODE
-                        else EventType.EDGE_ADD,
-                        event.time, node_id=event.node_id,
-                        edge_id=event.edge_id, src=event.src, dst=event.dst,
-                        directed=event.directed, attributes=event.attributes)
-                    snapshot.apply_event(replay)
-                elif event.type in (EventType.NODE_ADD, EventType.EDGE_ADD,
-                                    EventType.NODE_ATTR, EventType.EDGE_ATTR):
-                    snapshot.apply_event(event)
-        for event in self._recent_events:
-            if start <= event.time < end and (
-                    event.type.is_transient
-                    or event.type in (EventType.NODE_ADD, EventType.EDGE_ADD,
-                                      EventType.NODE_ATTR, EventType.EDGE_ATTR)):
-                if event.type.is_transient:
-                    replay = Event(
-                        EventType.NODE_ADD if event.type == EventType.TRANSIENT_NODE
-                        else EventType.EDGE_ADD,
-                        event.time, node_id=event.node_id, edge_id=event.edge_id,
-                        src=event.src, dst=event.dst, directed=event.directed,
-                        attributes=event.attributes)
-                    snapshot.apply_event(replay)
-                else:
-                    snapshot.apply_event(event)
+                if start <= event.time < end:
+                    self._apply_interval_event(snapshot, event)
+        # Recent (not yet sealed) events go through the same columnar split
+        # the sealed leaf-eventlists were stored with: a deletion carrying
+        # attributes becomes a bare structural event plus attribute
+        # tombstones, and only the requested components replay — so a
+        # maintained index answers interval queries exactly like the bulk
+        # build that would have sealed those events.
+        recent_by_component = split_events_by_component(
+            e for e in self._recent_events if start <= e.time < end)
+        recent: List[Event] = []
+        for component in components:
+            recent.extend(recent_by_component.get(component, []))
+        recent.sort(key=lambda e: e.time)
+        for event in recent:
+            self._apply_interval_event(snapshot, event)
         return snapshot
+
+    @staticmethod
+    def _apply_interval_event(snapshot: GraphSnapshot, event: Event) -> None:
+        """Apply one event under interval-graph semantics.
+
+        Additions and attribute changes accumulate, transients replay as
+        plain additions (the interval graph is the only query that surfaces
+        them), and structural deletions are skipped — the interval graph is
+        the union of what appeared during the window.
+        """
+        if event.type.is_transient:
+            snapshot.apply_event(Event(
+                EventType.NODE_ADD if event.type == EventType.TRANSIENT_NODE
+                else EventType.EDGE_ADD,
+                event.time, node_id=event.node_id, edge_id=event.edge_id,
+                src=event.src, dst=event.dst, directed=event.directed,
+                attributes=event.attributes))
+        elif event.type in (EventType.NODE_ADD, EventType.EDGE_ADD,
+                            EventType.NODE_ATTR, EventType.EDGE_ATTR):
+            snapshot.apply_event(event)
 
     # ==================================================================
     # auxiliary index retrieval (Section 4.7)
@@ -1455,6 +1488,18 @@ class DeltaGraph:
     def materialized_nodes(self) -> List[str]:
         """Node ids currently materialized in memory."""
         return list(self._materialized)
+
+    def node_time(self, node_id: str) -> Optional[int]:
+        """Timestamp of a skeleton node (``None`` for interior nodes).
+
+        Part of the duck-typed index interface shared with
+        :class:`~repro.sharding.federation.ShardedHistoryIndex`, which
+        resolves shard-qualified node ids the skeleton knows nothing about.
+        """
+        try:
+            return self.skeleton.nodes[node_id].time
+        except KeyError:
+            raise DeltaGraphIndexError(f"unknown node {node_id!r}") from None
 
     def materialization_memory_entries(self) -> int:
         """Total number of elements held by materialized graphs.

@@ -301,7 +301,32 @@ class DeltaGraphSkeleton:
         that must be replayed (forward from the left leaf, backward from the
         right leaf).  The caller is responsible for removing the node via
         :meth:`remove_node` once planning and retrieval complete.
+
+        A skeleton with leaves but no eventlist edges yet — an index opened
+        over an empty trace whose only history is the recent eventlist,
+        e.g. a freshly rolled-over era shard — anchors the virtual node to
+        its newest leaf with a zero-replay virtual edge: the leaf *is* the
+        state at every indexed time, and the executor's recent-events pass
+        supplies everything after it.
         """
+        if not self.eventlist_edges():
+            leaves = self.leaves()
+            if not leaves:
+                raise DeltaGraphIndexError("DeltaGraph has no leaves")
+            anchor = leaves[-1]
+            if anchor.time is not None and time < anchor.time:
+                raise TimeOutOfRangeError(
+                    f"time {time} precedes the indexed history (starts at "
+                    f"{anchor.time})")
+            node = SkeletonNode(
+                id=f"virtual:{time}:{next(self._virtual_counter)}",
+                kind=NodeKind.VIRTUAL, level=0, time=time)
+            self.add_node(node)
+            self.add_edge(SkeletonEdge(
+                source=anchor.id, target=node.id, kind=EdgeKind.VIRTUAL,
+                delta_id=None, stats=DeltaStats.zero(), event_count=0,
+                direction="forward", events_to_apply=0, virtual_time=time))
+            return node
         eventlist_edge = self.covering_eventlist(time)
         left = self.nodes[eventlist_edge.source]
         right = self.nodes[eventlist_edge.target]
@@ -457,8 +482,14 @@ class DeltaGraphSkeleton:
                                              components)
             for other, (cost, steps) in paths.items():
                 closure[(point, other)] = (cost, steps)
-        # Prim's MST over the complete graph on `points`.
-        in_tree = {points[0]}
+        # Prim's MST over the complete graph on `points`.  Iteration is
+        # insertion-ordered and the comparison strict, so equal-cost ties
+        # always break the same way: the tree (and therefore the plan's
+        # exact op counts) depends only on the input terminal order, never
+        # on string-hash order — virtual node ids embed a per-plan counter,
+        # so a set-ordered loop would make two identical queries pick
+        # different equal-cost plans.
+        in_tree: Dict[str, None] = {points[0]: None}
         mst_edges: List[Tuple[str, str]] = []
         while len(in_tree) < len(points):
             best: Optional[Tuple[float, str, str]] = None
@@ -472,7 +503,7 @@ class DeltaGraphSkeleton:
             assert best is not None
             _cost, a, b = best
             mst_edges.append((a, b))
-            in_tree.add(b)
+            in_tree[b] = None
         # Unfold MST edges to skeleton paths and deduplicate skeleton edges.
         seen: Set[int] = set()
         steps: List[PlanStep] = []

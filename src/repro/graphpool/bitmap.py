@@ -64,6 +64,12 @@ class GraphRegistration:
     dependency: Optional[int] = None
     time: Optional[int] = None
     description: str = ""
+    #: Era-shard key (``"era<i>"``) of the index the graph came from, when
+    #: it was retrieved through a sharded history index; ``None`` otherwise.
+    #: Lets the pool report residency per shard (see
+    #: :meth:`GraphPool.shard_registrations
+    #: <repro.graphpool.pool.GraphPool.shard_registrations>`).
+    shard: Optional[str] = None
 
     @property
     def bits(self) -> List[int]:
@@ -99,7 +105,8 @@ class BitAllocator:
 
     def register_historical(self, time: Optional[int] = None,
                             dependency: Optional[int] = None,
-                            description: str = "") -> GraphRegistration:
+                            description: str = "",
+                            shard: Optional[str] = None) -> GraphRegistration:
         """Register a historical snapshot; returns its bit pair."""
         if dependency is not None and dependency not in self._registrations:
             raise GraphPoolError(f"unknown dependency graph {dependency}")
@@ -110,12 +117,15 @@ class BitAllocator:
         registration = GraphRegistration(
             graph_id=self._take_graph_id(), kind=GraphKind.HISTORICAL,
             primary_bit=first, secondary_bit=first + 1,
-            dependency=dependency, time=time, description=description)
+            dependency=dependency, time=time, description=description,
+            shard=shard)
         self._registrations[registration.graph_id] = registration
         return registration
 
     def register_materialized(self, time: Optional[int] = None,
-                              description: str = "") -> GraphRegistration:
+                              description: str = "",
+                              shard: Optional[str] = None
+                              ) -> GraphRegistration:
         """Register a materialized graph; returns its single bit."""
         if self._free_single_bits:
             bit = self._free_single_bits.pop()
@@ -124,7 +134,7 @@ class BitAllocator:
             self._next_bit += 1
         registration = GraphRegistration(
             graph_id=self._take_graph_id(), kind=GraphKind.MATERIALIZED,
-            primary_bit=bit, time=time, description=description)
+            primary_bit=bit, time=time, description=description, shard=shard)
         self._registrations[registration.graph_id] = registration
         return registration
 
@@ -195,5 +205,6 @@ class BitAllocator:
                 "kind": registration.kind.value,
                 "dependency": registration.dependency,
                 "time": registration.time,
+                "shard": registration.shard,
             })
         return rows

@@ -89,6 +89,18 @@ class GraphPool:
         """Number of active graphs including the current graph."""
         return self._allocator.active_graph_count()
 
+    def shard_registrations(self, shard: Optional[str] = None
+                            ) -> List[GraphRegistration]:
+        """Active registrations grouped by era-shard key.
+
+        With ``shard`` given, the registrations tagged with that key; with
+        ``None``, the untagged ones (graphs from unsharded indexes, plus
+        the current graph).  Lets operators of a sharded deployment see
+        which eras the resident snapshots come from.
+        """
+        return [r for r in self._allocator.registrations()
+                if r.shard == shard]
+
     # ------------------------------------------------------------------
     # entry helpers
     # ------------------------------------------------------------------
@@ -164,10 +176,16 @@ class GraphPool:
 
     def add_materialized(self, snapshot: GraphSnapshot,
                          time: Optional[int] = None,
-                         description: str = "") -> GraphRegistration:
-        """Overlay a materialized DeltaGraph node onto the pool."""
+                         description: str = "",
+                         shard: Optional[str] = None) -> GraphRegistration:
+        """Overlay a materialized DeltaGraph node onto the pool.
+
+        ``shard`` tags the registration with the era-shard key the node was
+        materialized from (sharded indexes only; see
+        :meth:`shard_registrations`).
+        """
         registration = self._allocator.register_materialized(
-            time=time, description=description)
+            time=time, description=description, shard=shard)
         for key, value in snapshot.items():
             self._set_bit(self._entry_key(key, value), registration.primary_bit)
         return registration
@@ -176,18 +194,21 @@ class GraphPool:
                        time: Optional[int] = None,
                        dependency: Optional[int] = None,
                        auto_dependency: bool = True,
-                       description: str = "") -> GraphRegistration:
+                       description: str = "",
+                       shard: Optional[str] = None) -> GraphRegistration:
         """Overlay a retrieved historical snapshot onto the pool.
 
         When ``dependency`` is given (or ``auto_dependency`` finds a resident
         graph that differs in less than ``dependency_threshold`` of the
         entries), the snapshot is stored as *dependent*: only the differing
-        entries are touched.
+        entries are touched.  ``shard`` tags the registration with the
+        owning era-shard key (sharded indexes only).
         """
         if dependency is None and auto_dependency:
             dependency = self._choose_dependency(snapshot)
         registration = self._allocator.register_historical(
-            time=time, dependency=dependency, description=description)
+            time=time, dependency=dependency, description=description,
+            shard=shard)
         override_bit = registration.primary_bit
         member_bit = registration.secondary_bit
         if dependency is None:

@@ -49,6 +49,8 @@ from ..core.snapshot import GraphSnapshot
 from ..errors import ConfigurationError, QueryError
 from ..graphpool.histgraph import HistGraph
 from ..graphpool.pool import GraphPool
+from ..sharding.federation import ShardedHistoryIndex
+from ..sharding.policy import ShardPolicy
 from ..storage.kvstore import KVStore
 from .attr_options import AttributeFilter, parse_attr_options
 from .time_expression import TimeExpression
@@ -57,11 +59,14 @@ __all__ = ["HistoryManager", "GraphManager", "QueryManager"]
 
 
 class HistoryManager:
-    """Manages the DeltaGraph index: construction, planning, disk I/O.
+    """Manages the history index: construction, planning, disk I/O.
 
-    ``cache`` installs a shared cross-query
-    :class:`~repro.cache.delta_cache.DeltaCache` on the index; pass the same
-    instance to several managers (or serve them from one
+    ``index`` is either a single :class:`~repro.core.deltagraph.DeltaGraph`
+    or a :class:`~repro.sharding.federation.ShardedHistoryIndex` — both
+    speak the same retrieval interface, so everything downstream (including
+    :class:`GraphManager`) is shard-agnostic.  ``cache`` installs a shared
+    cross-query :class:`~repro.cache.delta_cache.DeltaCache` on the index;
+    pass the same instance to several managers (or serve them from one
     :class:`GraphManager` pool) to share fetched deltas between them.
     """
 
@@ -73,14 +78,39 @@ class HistoryManager:
 
     @classmethod
     def build_index(cls, events: Iterable[Event], store: Optional[KVStore] = None,
+                    shard_policy: Optional[ShardPolicy] = None,
+                    shard_store_factory=None,
+                    shard_build_workers: Optional[int] = None,
                     **construction_parameters) -> "HistoryManager":
-        """Construct a DeltaGraph from an event trace (Section 4.6).
+        """Construct a history index from an event trace (Section 4.6).
 
         ``construction_parameters`` are forwarded to
         :meth:`DeltaGraph.build <repro.core.deltagraph.DeltaGraph.build>` and
         include the cache knobs (``cache``, ``cache_max_bytes``,
         ``cache_policy``).
+
+        ``shard_policy`` switches to a **time-sharded federation**: the
+        trace is cut into eras, each era builds its own DeltaGraph (in
+        parallel, over a store from ``shard_store_factory``; in-memory
+        stores by default), and the manager serves queries through the
+        cross-shard router — transparently to every caller.
+        ``shard_build_workers`` bounds the construction pool.  See
+        :class:`~repro.sharding.federation.ShardedHistoryIndex`.
         """
+        if shard_policy is not None:
+            if store is not None:
+                raise ConfigurationError(
+                    "a sharded index owns one store per era shard; pass "
+                    "shard_store_factory instead of a single store")
+            index = ShardedHistoryIndex.build(
+                events, policy=shard_policy,
+                store_factory=shard_store_factory,
+                build_workers=shard_build_workers,
+                **construction_parameters)
+            return cls(index)
+        if shard_store_factory is not None or shard_build_workers is not None:
+            raise ConfigurationError(
+                "shard_store_factory/shard_build_workers require shard_policy")
         return cls(DeltaGraph.build(events, store=store,
                                     **construction_parameters))
 
@@ -281,18 +311,34 @@ class GraphManager:
     # ------------------------------------------------------------------
 
     def _register(self, snapshot: GraphSnapshot, time: int) -> HistGraph:
-        registration = self.pool.add_historical(snapshot, time=time)
+        registration = self.pool.add_historical(
+            snapshot, time=time, shard=self._shard_key(time=time))
         view = HistGraph(self.pool, registration.graph_id, time=time)
         self._active[registration.graph_id] = view
         return view
 
+    def _shard_key(self, time: Optional[int] = None,
+                   node_id: Optional[str] = None) -> Optional[str]:
+        """The owning era-shard key for pool bookkeeping (None unsharded)."""
+        if node_id is not None:
+            resolver = getattr(self.index, "shard_key_for_node", None)
+            return resolver(node_id) if resolver is not None else None
+        resolver = getattr(self.index, "shard_key_for_time", None)
+        return resolver(time) if resolver is not None else None
+
     def materialize(self, node_id: str) -> HistGraph:
-        """Materialize a DeltaGraph node and overlay it on the pool."""
+        """Materialize an index node and overlay it on the pool.
+
+        Over a sharded index, ``node_id`` is shard-qualified
+        (``"era2/interior:h0:l3:0"``) and the pool registration is keyed
+        under the owning shard.
+        """
         snapshot = self.history.materialize_node(node_id)
-        node = self.index.skeleton.nodes[node_id]
-        registration = self.pool.add_materialized(snapshot, time=node.time,
-                                                  description=node_id)
-        view = HistGraph(self.pool, registration.graph_id, time=node.time)
+        time = self.index.node_time(node_id)
+        registration = self.pool.add_materialized(
+            snapshot, time=time, description=node_id,
+            shard=self._shard_key(node_id=node_id))
+        view = HistGraph(self.pool, registration.graph_id, time=time)
         self._active[registration.graph_id] = view
         return view
 

@@ -1,0 +1,568 @@
+"""Cross-shard query router over era-sharded DeltaGraphs.
+
+The paper's DeltaGraph is one hierarchical index over one timeline; at
+production scale the timeline outgrows any single index (and any single
+store).  :class:`ShardedHistoryIndex` federates *era shards* — independent
+DeltaGraphs over consecutive time spans, each with its own KVStore and
+cache namespace — behind the same retrieval interface the managers already
+speak:
+
+* **routing** — each shard's initial graph is the previous era's final
+  state, so a singlepoint query is answered entirely by the one shard
+  owning its timepoint; multipoint queries split their point-set per shard
+  and fan the per-shard sub-plans out on a thread pool (each shard then
+  applies its own ``multipoint_workers`` parallelism within its plan);
+* **parallel construction** — era boundaries come from a
+  :class:`~repro.sharding.policy.ShardPolicy`; boundary snapshots are
+  computed in one sequential replay, then every era's index builds
+  concurrently (independent stores, shared-nothing);
+* **live ingestion** — appends are forwarded to the live tail; when the
+  policy says an incoming event starts a new era, the tail is sealed
+  (:meth:`EraShard.seal_era <repro.sharding.shard.EraShard.seal_era>`) and
+  a fresh shard opens with the sealed tail's final graph as its boundary
+  snapshot.  A sealed era keeps its retired provisional payloads for one
+  read-during-ingest grace period; the *next* rollover (or an explicit
+  :meth:`ShardedHistoryIndex.purge_retired`) deletes them from the store
+  and drops their groups from the shared cache;
+* **one report** — ``IngestStats``/``IOStats``/cache counters aggregate
+  across shards (:meth:`ShardedHistoryIndex.stats_report`).
+
+Because the policy answers the same *should-cut* question during bulk
+splitting and live ingestion, ``build(full)`` and ``build(prefix) +
+ingest(suffix)`` produce identical shard layouts — the property the
+sharding conformance suite checks byte-for-byte against an unsharded
+DeltaGraph.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cache.delta_cache import CacheStats, DeltaCache
+from ..core.deltagraph import DeltaGraph, IngestStats
+from ..core.events import Event, EventList
+from ..core.snapshot import GraphSnapshot
+from ..errors import ConfigurationError, DeltaGraphIndexError, QueryError
+from ..storage.instrumented import IOStats
+from ..storage.kvstore import KVStore
+from ..storage.memory_store import InMemoryKVStore
+from .policy import ShardPolicy
+from .shard import EraShard
+
+__all__ = ["ShardedHistoryIndex"]
+
+#: Upper bound on threads used for parallel era builds and cross-shard
+#: multipoint fan-out when the caller does not say otherwise.
+_DEFAULT_POOL_CAP = 8
+
+
+def _aggregate_ingest(parts: Iterable[IngestStats]) -> IngestStats:
+    total = IngestStats()
+    for part in parts:
+        total.events_appended += part.events_appended
+        total.leaves_sealed += part.leaves_sealed
+        total.interiors_created += part.interiors_created
+        total.interiors_retired += part.interiors_retired
+        total.store_keys_written += part.store_keys_written
+        total.store_keys_deleted += part.store_keys_deleted
+        total.refinalizes += part.refinalizes
+    return total
+
+
+def _aggregate_io(parts: Iterable[IOStats]) -> IOStats:
+    total = IOStats()
+    for part in parts:
+        total.gets += part.gets
+        total.puts += part.puts
+        total.bytes_read += part.bytes_read
+        total.bytes_written += part.bytes_written
+        total.simulated_seconds += part.simulated_seconds
+        total.wall_seconds += part.wall_seconds
+        total.batch_gets += part.batch_gets
+        total.deletes += part.deletes
+    return total
+
+
+class ShardedHistoryIndex:
+    """A federation of era-sharded DeltaGraphs behind one query interface.
+
+    Construct through :meth:`build`; the managers construct one
+    transparently when given a ``shard_policy``
+    (:meth:`HistoryManager.build_index
+    <repro.query.managers.HistoryManager.build_index>`).
+    """
+
+    def __init__(self, shards: List[EraShard], policy: ShardPolicy,
+                 store_factory: Callable[[int], KVStore],
+                 cache: Optional[DeltaCache] = None,
+                 index_kwargs: Optional[Dict] = None) -> None:
+        if not shards:
+            raise ConfigurationError("a sharded index needs at least one shard")
+        self._shards = shards
+        self.policy = policy
+        self._store_factory = store_factory
+        self._cache = cache
+        self._index_kwargs = dict(index_kwargs or {})
+        self._t_los = [shard.t_lo for shard in shards]
+        self._lock = threading.RLock()
+        #: Initial graph of a federation opened over an empty trace, kept so
+        #: the placeholder tail can be re-anchored if the first appended
+        #: event predates its provisional leaf-0 timestamp.
+        self._tail_seed: Optional[GraphSnapshot] = None
+
+    # ==================================================================
+    # construction
+    # ==================================================================
+
+    @classmethod
+    def build(cls, events: Iterable[Event], policy: ShardPolicy,
+              store_factory: Optional[Callable[[int], KVStore]] = None,
+              build_workers: Optional[int] = None,
+              cache: Optional[DeltaCache] = None,
+              cache_max_bytes: int = 0, cache_policy: str = "lru",
+              initial_graph: Optional[GraphSnapshot] = None,
+              **index_kwargs) -> "ShardedHistoryIndex":
+        """Split a trace into eras and build every era's index in parallel.
+
+        ``store_factory`` maps a shard id to a fresh :class:`KVStore` (the
+        default creates in-memory stores); it is retained for live-tail
+        rollovers.  ``build_workers`` bounds the construction thread pool.
+        The cache knobs create (or accept) **one** shared
+        :class:`~repro.cache.delta_cache.DeltaCache` installed on every
+        shard — per-store namespacing keeps their entries apart.  Remaining
+        ``index_kwargs`` (leaf size, arity, codec, ``multipoint_workers``,
+        ...) are applied to every shard's
+        :meth:`DeltaGraph.build <repro.core.deltagraph.DeltaGraph.build>`.
+        """
+        if index_kwargs.get("aux_indexes"):
+            raise ConfigurationError(
+                "auxiliary indexes are not supported on a sharded index "
+                "(aux state cannot yet be rebased across era boundaries)")
+        index_kwargs.pop("aux_indexes", None)
+        for knob in ("store", "start_time"):
+            if knob in index_kwargs:
+                raise ConfigurationError(
+                    f"{knob!r} is managed per shard; pass the sharded "
+                    f"builder's own parameters instead")
+        if build_workers is not None and build_workers < 1:
+            raise ConfigurationError("build_workers must be >= 1")
+        if cache is None and cache_max_bytes > 0:
+            cache = DeltaCache(max_bytes=cache_max_bytes, policy=cache_policy)
+        if store_factory is None:
+            store_factory = lambda shard_id: InMemoryKVStore()  # noqa: E731
+
+        event_list = (events if isinstance(events, EventList)
+                      else EventList(events))
+        eras = policy.split(event_list)
+        if not eras:
+            # Empty trace: open a bare live tail; appends shard from there.
+            start = (initial_graph.time
+                     if initial_graph is not None and
+                     initial_graph.time is not None else 0)
+            store = store_factory(0)
+            index = DeltaGraph.build(
+                [], store=store, initial_graph=initial_graph,
+                start_time=start, cache=cache, **index_kwargs)
+            tail = EraShard(shard_id=0, index=index, store=store,
+                            t_lo=start + 1)
+            # The span start is a placeholder until the first event arrives;
+            # append_batch snaps it to that event's timestamp so the era
+            # layout (and e.g. a TimeSpanPolicy's boundary anchor) matches
+            # what a bulk build over the same trace would produce.
+            tail.provisional_t_lo = True
+            federation = cls([tail], policy, store_factory, cache=cache,
+                             index_kwargs=index_kwargs)
+            federation._tail_seed = initial_graph
+            return federation
+
+        # One sequential replay computes every era-boundary snapshot (the
+        # initial graph of era k is the final state of era k-1); compact()
+        # gives each era a private flat base so the parallel builds below
+        # share nothing mutable.
+        boundaries: List[GraphSnapshot] = []
+        current = (initial_graph.copy() if initial_graph is not None
+                   else GraphSnapshot.empty())
+        for _t_lo, era_events in eras[:-1]:
+            for event in era_events:
+                current.apply_event(event)
+            boundary = current.copy()
+            boundary.compact()
+            boundaries.append(boundary)
+
+        stores = [store_factory(i) for i in range(len(eras))]
+
+        def build_era(position: int) -> DeltaGraph:
+            t_lo, era_events = eras[position]
+            base = initial_graph if position == 0 else boundaries[position - 1]
+            # Era 0 leaves start_time to _bulk_load's inference so a caller
+            # initial_graph with an earlier timestamp anchors pre-history
+            # exactly like an unsharded build; later eras pin their boundary
+            # explicitly (their initial graph's history lives in the shards
+            # before them).
+            start = None if position == 0 else min(t_lo,
+                                                   era_events[0].time) - 1
+            return DeltaGraph.build(
+                era_events, store=stores[position], initial_graph=base,
+                start_time=start, cache=cache, **index_kwargs)
+
+        workers = (build_workers if build_workers is not None
+                   else min(_DEFAULT_POOL_CAP, len(eras)))
+        if workers == 1 or len(eras) == 1:
+            indexes = [build_era(i) for i in range(len(eras))]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                indexes = list(pool.map(build_era, range(len(eras))))
+
+        shards: List[EraShard] = []
+        for i, ((t_lo, era_events), index) in enumerate(zip(eras, indexes)):
+            is_tail = i == len(eras) - 1
+            shards.append(EraShard(
+                shard_id=i, index=index, store=stores[i], t_lo=t_lo,
+                t_hi=None if is_tail else eras[i + 1][0],
+                sealed=not is_tail, event_count=len(era_events),
+                last_time=era_events.end_time))
+        return cls(shards, policy, store_factory, cache=cache,
+                   index_kwargs=index_kwargs)
+
+    # ==================================================================
+    # routing
+    # ==================================================================
+
+    @property
+    def shards(self) -> List[EraShard]:
+        """The era shards, oldest first (the last one is the live tail)."""
+        return list(self._shards)
+
+    @property
+    def tail(self) -> EraShard:
+        """The live tail — the only shard accepting appends."""
+        return self._shards[-1]
+
+    def _shard_index_for(self, time: int) -> int:
+        """Position of the shard owning ``time``.
+
+        Rightmost shard whose ``t_lo`` is at or before ``time``; times
+        before the first era belong to the first shard (whose initial
+        boundary snapshot covers all of pre-history), times at or past the
+        tail's ``t_lo`` to the tail.
+        """
+        return max(bisect.bisect_right(self._t_los, time) - 1, 0)
+
+    def shard_for(self, time: int) -> EraShard:
+        """The era shard owning ``time``."""
+        return self._shards[self._shard_index_for(time)]
+
+    def shard_key_for_time(self, time: int) -> str:
+        """Stable shard key (``"era<i>"``) for pool/cache bookkeeping."""
+        return f"era{self._shard_index_for(time)}"
+
+    # -- shard-qualified node ids --------------------------------------
+
+    def _resolve_node(self, node_id: str) -> Tuple[EraShard, str]:
+        shard_part, _slash, rest = node_id.partition("/")
+        if rest and shard_part.startswith("era"):
+            try:
+                position = int(shard_part[3:])
+            except ValueError:
+                position = -1
+            if 0 <= position < len(self._shards):
+                return self._shards[position], rest
+        raise DeltaGraphIndexError(
+            f"sharded node ids are shard-qualified, e.g. 'era0/leaf:3' "
+            f"(got {node_id!r})")
+
+    def node_time(self, node_id: str) -> Optional[int]:
+        """Timestamp of a shard-qualified skeleton node."""
+        shard, local_id = self._resolve_node(node_id)
+        return shard.index.node_time(local_id)
+
+    def shard_key_for_node(self, node_id: str) -> str:
+        """The ``"era<i>"`` prefix of a shard-qualified node id."""
+        shard, _local = self._resolve_node(node_id)
+        return f"era{shard.shard_id}"
+
+    def materialize(self, node_id: str) -> GraphSnapshot:
+        """Materialize a shard-qualified node (``"era2/interior:..."``)."""
+        shard, local_id = self._resolve_node(node_id)
+        return shard.index.materialize(local_id)
+
+    # ==================================================================
+    # retrieval
+    # ==================================================================
+
+    def get_snapshot(self, time: int,
+                     components: Optional[Sequence[str]] = None,
+                     partitions: Optional[Sequence[int]] = None
+                     ) -> GraphSnapshot:
+        """Singlepoint retrieval, routed to the era shard owning ``time``."""
+        return self.shard_for(time).index.get_snapshot(time, components,
+                                                       partitions)
+
+    def get_snapshots(self, times: Sequence[int],
+                      components: Optional[Sequence[str]] = None,
+                      partitions: Optional[Sequence[int]] = None,
+                      workers: Optional[int] = None) -> List[GraphSnapshot]:
+        """Multipoint retrieval: the point-set splits per owning shard.
+
+        Each spanned shard answers its sub-set with its own multipoint
+        Steiner plan (sharing deltas *within* the shard exactly as an
+        unsharded index would); the per-shard sub-queries run concurrently
+        on a thread pool.  ``workers`` bounds that cross-shard fan-out
+        (default: one thread per spanned shard, capped); within each shard
+        the index's own ``multipoint_workers`` configuration still applies.
+        Cross-shard overhead is therefore bounded by the number of shards
+        spanned: no delta is fetched twice, and no shard outside the
+        point-set's eras is touched at all.
+        """
+        if not times:
+            return []
+        by_shard: Dict[int, List[int]] = {}
+        for position, time in enumerate(times):
+            by_shard.setdefault(self._shard_index_for(time), []).append(
+                position)
+        results: List[Optional[GraphSnapshot]] = [None] * len(times)
+
+        def run(entry: Tuple[int, List[int]]) -> None:
+            shard_position, positions = entry
+            shard_times = [times[p] for p in positions]
+            snapshots = self._shards[shard_position].index.get_snapshots(
+                shard_times, components, partitions)
+            for position, snapshot in zip(positions, snapshots):
+                results[position] = snapshot
+
+        groups = list(by_shard.items())
+        fan_out = (min(len(groups), _DEFAULT_POOL_CAP) if workers is None
+                   else max(1, min(workers, len(groups))))
+        if len(groups) == 1 or fan_out == 1:
+            for entry in groups:
+                run(entry)
+        else:
+            with ThreadPoolExecutor(max_workers=fan_out) as pool:
+                list(pool.map(run, groups))
+        return results  # type: ignore[return-value]
+
+    def get_interval_graph(self, start: int, end: int,
+                           components: Optional[Sequence[str]] = None,
+                           include_transient: bool = True) -> GraphSnapshot:
+        """Elements added during ``[start, end)``, chained across eras.
+
+        The overlapping shards replay their era's events *into one
+        accumulator snapshot* in chronological era order — a dict-style
+        merge would lose attribute tombstones (a deletion in a later era
+        must erase attribute entries accumulated from an earlier one).
+        """
+        combined = GraphSnapshot.empty()
+        for shard in self._shards:
+            if shard.overlaps(start, end):
+                combined = shard.index.get_interval_graph(
+                    start, end, components, include_transient, into=combined)
+        return combined
+
+    def get_aux_snapshot(self, index_name: str, time: int) -> dict:
+        raise QueryError(
+            "auxiliary indexes are not supported on a sharded index")
+
+    # ==================================================================
+    # live ingestion (tail + era rollover)
+    # ==================================================================
+
+    def append(self, event: Event) -> None:
+        """Ingest one live event (see :meth:`append_batch`)."""
+        self.append_batch((event,))
+
+    def append_batch(self, events: Iterable[Event]) -> int:
+        """Forward live events to the tail, rolling eras over as cut.
+
+        Each event is checked against the shard policy *before* it is
+        appended: when a cut falls before it, the buffered prefix flushes
+        into the current tail, the tail seals (keeping its final retired
+        generation for one grace period — see :meth:`EraShard.seal_era
+        <repro.sharding.shard.EraShard.seal_era>`), and a fresh shard opens
+        at the cut with the sealed tail's final graph as its boundary
+        snapshot.  Returns the number of events ingested.
+        """
+        with self._lock:
+            total = 0
+            tail = self._shards[-1]
+            buffer: List[Event] = []
+            for event in events:
+                if (tail.provisional_t_lo and not buffer
+                        and tail.event_count == 0):
+                    if event.time != tail.t_lo:
+                        # The first real event does not sit on the
+                        # placeholder anchor (earlier: negative timestamps;
+                        # later: a trace starting past 0): re-open the
+                        # pristine tail one tick before it, exactly where a
+                        # bulk build over the same trace would put leaf 0 —
+                        # otherwise queries between the placeholder and the
+                        # first event would answer instead of raising.  The
+                        # store holds at most the seed's provisional
+                        # super-root delta, rewritten under the same keys.
+                        tail.index = DeltaGraph.build(
+                            [], store=tail.store,
+                            initial_graph=self._tail_seed,
+                            start_time=event.time - 1, cache=self._cache,
+                            **self._index_kwargs)
+                    tail.t_lo = event.time
+                    tail.provisional_t_lo = False
+                    self._t_los[-1] = event.time
+                last_time = buffer[-1].time if buffer else tail.last_time
+                cut = self.policy.should_cut(
+                    tail.event_count + len(buffer), tail.t_lo, last_time,
+                    event.time)
+                if cut is not None:
+                    total += self._flush(tail, buffer)
+                    buffer = []
+                    tail = self._rollover(cut)
+                buffer.append(event)
+            total += self._flush(tail, buffer)
+            return total
+
+    def _flush(self, tail: EraShard, buffer: List[Event]) -> int:
+        """Append a buffered run to the tail, tracking the accepted prefix.
+
+        The tail's DeltaGraph counts every accepted event even when a
+        mid-batch append fails (a rejected out-of-order event, a store
+        error during a seal), so the shard metadata stays in lock-step with
+        the index on failure — the same contract
+        :meth:`GraphManager.ingest <repro.query.managers.GraphManager.ingest>`
+        relies on one level up.
+        """
+        if not buffer:
+            return 0
+        before = tail.index.ingest_stats.events_appended
+        try:
+            return tail.index.append_batch(buffer)
+        finally:
+            accepted = tail.index.ingest_stats.events_appended - before
+            tail.event_count += accepted
+            if accepted:
+                tail.last_time = buffer[accepted - 1].time
+
+    def _rollover(self, new_t_lo: int) -> EraShard:
+        """Seal the live tail at ``new_t_lo`` and open a fresh shard there.
+
+        The previously sealed shard flushes its read-during-ingest grace
+        period now: its retired provisional payloads have survived a whole
+        era of traffic since *its* rollover, so no in-flight plan can still
+        reference them, and without this purge nothing would ever delete
+        them (a sealed era never seals again).  Only that one shard can
+        hold retired payloads — every older one was purged at the rollover
+        after its own and never appends again — so rollover stays O(1).
+        The shard sealed *by this rollover* keeps its grace period until
+        the next one.
+        """
+        old_tail = self._shards[-1]
+        if len(self._shards) >= 2:
+            self._shards[-2].index.purge_retired()
+        old_tail.seal_era(new_t_lo)
+        boundary = old_tail.index.current_graph()
+        boundary.compact()
+        store = self._store_factory(len(self._shards))
+        index = DeltaGraph.build(
+            [], store=store, initial_graph=boundary,
+            start_time=new_t_lo - 1, cache=self._cache, **self._index_kwargs)
+        tail = EraShard(shard_id=len(self._shards), index=index, store=store,
+                        t_lo=new_t_lo)
+        self._shards.append(tail)
+        self._t_los.append(new_t_lo)
+        return tail
+
+    def seal(self, partial: bool = True) -> int:
+        """Seal the tail's buffered recent events into leaves now."""
+        with self._lock:
+            return self._shards[-1].index.seal(partial=partial)
+
+    def purge_retired(self) -> int:
+        """Flush every shard's read-during-ingest grace period now."""
+        with self._lock:
+            return sum(shard.index.purge_retired()
+                       for shard in self._shards)
+
+    def current_graph(self) -> GraphSnapshot:
+        """The up-to-date current graph (owned by the live tail)."""
+        return self._shards[-1].index.current_graph()
+
+    # ==================================================================
+    # cache plumbing
+    # ==================================================================
+
+    @property
+    def cache(self) -> Optional[DeltaCache]:
+        """The shared cross-query delta cache (``None`` when disabled)."""
+        return self._cache
+
+    def set_cache(self, cache: Optional[DeltaCache]) -> None:
+        """Install one shared cache on every shard (or remove with None)."""
+        self._cache = cache
+        for shard in self._shards:
+            shard.index.set_cache(cache)
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Counters of the shared cache (``None`` when caching is off)."""
+        return self._cache.stats() if self._cache is not None else None
+
+    # ==================================================================
+    # statistics, aggregated across shards
+    # ==================================================================
+
+    @property
+    def ingest_stats(self) -> IngestStats:
+        """Federation-wide ingestion counters (sum over all shards)."""
+        return _aggregate_ingest(shard.index.ingest_stats
+                                 for shard in self._shards)
+
+    def io_stats(self) -> Optional[IOStats]:
+        """Summed I/O counters of instrumented shard stores.
+
+        ``None`` when no shard store exposes
+        :class:`~repro.storage.instrumented.IOStats` counters.
+        """
+        parts = [shard.store.stats for shard in self._shards
+                 if isinstance(getattr(shard.store, "stats", None), IOStats)]
+        return _aggregate_io(parts) if parts else None
+
+    def index_size_bytes(self) -> int:
+        """Total stored payload bytes across shards (where reported)."""
+        return sum(shard.index.index_size_bytes() for shard in self._shards)
+
+    def stats_report(self) -> Dict:
+        """One aggregated report: per-shard rows plus federation totals."""
+        per_shard = []
+        for shard in self._shards:
+            io = (shard.store.stats.snapshot()
+                  if isinstance(getattr(shard.store, "stats", None), IOStats)
+                  else None)
+            per_shard.append({
+                "shard": shard.shard_id,
+                "span": [shard.t_lo, shard.t_hi],
+                "sealed": shard.sealed,
+                "events": shard.event_count,
+                "namespace": shard.namespace,
+                "ingest": asdict(shard.index.ingest_stats.snapshot()),
+                "io": asdict(io) if io is not None else None,
+            })
+        totals = {
+            "shards": len(self._shards),
+            "events": sum(shard.event_count for shard in self._shards),
+            "ingest": asdict(self.ingest_stats),
+        }
+        io_total = self.io_stats()
+        if io_total is not None:
+            totals["io"] = asdict(io_total)
+        cache = self.cache_stats()
+        report = {"policy": self.policy.describe(), "per_shard": per_shard,
+                  "totals": totals}
+        if cache is not None:
+            report["cache"] = asdict(cache)
+        return report
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the federation."""
+        spans = ", ".join(shard.describe() for shard in self._shards[-3:])
+        return (f"ShardedHistoryIndex({len(self._shards)} shards, "
+                f"policy={self.policy.describe()}, newest: {spans})")

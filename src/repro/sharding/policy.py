@@ -1,0 +1,161 @@
+"""Era-cut policies for time-sharded DeltaGraph federations.
+
+A :class:`~repro.sharding.federation.ShardedHistoryIndex` splits one event
+timeline into consecutive *eras*, each indexed by its own DeltaGraph over
+its own store.  The policy decides where the cuts fall.  One primitive
+drives everything: :meth:`ShardPolicy.should_cut` answers, for the next
+incoming event, whether a new era begins *before* it — the bulk splitter
+(:meth:`ShardPolicy.split`) replays the trace through exactly the same
+question, so building an index over a full trace and growing one live over
+the same trace produce identical era boundaries.  That equivalence is what
+the sharding conformance suite leans on.
+
+Invariant every policy must preserve: **a timestamp is never split across
+eras.**  Two events with equal timestamps always land in the same shard, so
+a query at any time ``t`` is answered entirely by the one shard owning
+``t`` (plus its initial boundary snapshot).  The concrete policies enforce
+this by only cutting when the incoming event's timestamp strictly exceeds
+the last one indexed (event-count policy) or when a fixed boundary is first
+crossed (time-span / explicit policies, which cross each boundary once).
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.events import EventList
+from ..errors import ConfigurationError
+
+__all__ = ["ShardPolicy", "EventCountPolicy", "TimeSpanPolicy",
+           "ExplicitBoundariesPolicy"]
+
+
+class ShardPolicy(ABC):
+    """Decides where era boundaries fall on the event timeline."""
+
+    @abstractmethod
+    def should_cut(self, event_count: int, t_lo: int,
+                   last_time: Optional[int],
+                   next_time: int) -> Optional[int]:
+        """Whether a new era begins before an event at ``next_time``.
+
+        ``event_count`` events have been routed to the current era so far,
+        the era opened at ``t_lo`` (inclusive), and its newest event — if it
+        has any — carries ``last_time``.  Returns the new era's ``t_lo``
+        (which must satisfy ``last_time < new_t_lo <= next_time``), or
+        ``None`` to keep the current era growing.
+        """
+
+    def split(self, events: EventList) -> List[Tuple[int, EventList]]:
+        """Cut a bulk trace into ``(t_lo, era_events)`` spans.
+
+        Implemented on top of :meth:`should_cut` so bulk construction and
+        live ingestion shard the same trace identically.  The first era
+        opens at the first event's timestamp; an empty trace yields no eras.
+        """
+        if not len(events):
+            return []
+        eras: List[Tuple[int, EventList]] = []
+        t_lo = events[0].time
+        current: List = []
+        last_time: Optional[int] = None
+        for event in events:
+            if current:
+                cut = self.should_cut(len(current), t_lo, last_time,
+                                      event.time)
+                if cut is not None:
+                    eras.append((t_lo, EventList(current)))
+                    t_lo, current = cut, []
+            current.append(event)
+            last_time = event.time
+        eras.append((t_lo, EventList(current)))
+        return eras
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the policy."""
+        return type(self).__name__
+
+
+class EventCountPolicy(ShardPolicy):
+    """Cut a new era after every ``events_per_era`` events.
+
+    The cut is deferred past timestamp ties: an era only closes when the
+    incoming event's timestamp strictly exceeds the era's newest indexed
+    timestamp, so equal-time events are never separated.  Era spans are
+    therefore *at least* ``events_per_era`` events long.
+    """
+
+    def __init__(self, events_per_era: int) -> None:
+        if events_per_era < 1:
+            raise ConfigurationError("events_per_era must be >= 1")
+        self.events_per_era = events_per_era
+
+    def should_cut(self, event_count: int, t_lo: int,
+                   last_time: Optional[int],
+                   next_time: int) -> Optional[int]:
+        if (event_count >= self.events_per_era
+                and last_time is not None and next_time > last_time):
+            return next_time
+        return None
+
+    def describe(self) -> str:
+        return f"EventCountPolicy({self.events_per_era}/era)"
+
+
+class TimeSpanPolicy(ShardPolicy):
+    """Cut eras at fixed time spans: ``[t_lo, t_lo + span)`` each.
+
+    Boundaries are anchored at the first era's ``t_lo`` and placed at exact
+    multiples of ``span``; eras whose span contains no events are skipped
+    (the next era's ``t_lo`` is the last boundary at or before its first
+    event).  Equal-time events can never straddle a boundary because each
+    boundary is crossed exactly once.
+    """
+
+    def __init__(self, span: int) -> None:
+        if span < 1:
+            raise ConfigurationError("span must be >= 1")
+        self.span = span
+
+    def should_cut(self, event_count: int, t_lo: int,
+                   last_time: Optional[int],
+                   next_time: int) -> Optional[int]:
+        if next_time >= t_lo + self.span:
+            return t_lo + self.span * ((next_time - t_lo) // self.span)
+        return None
+
+    def describe(self) -> str:
+        return f"TimeSpanPolicy(span={self.span})"
+
+
+class ExplicitBoundariesPolicy(ShardPolicy):
+    """Cut eras at an explicit, strictly increasing list of timestamps.
+
+    Era ``i`` covers ``[b_{i-1}, b_i)``; events before the first boundary
+    belong to the first era, events at or after the last boundary to the
+    last.  Boundaries no event ever reaches simply never open an era.
+    """
+
+    def __init__(self, boundaries: Sequence[int]) -> None:
+        bounds = list(boundaries)
+        if not bounds:
+            raise ConfigurationError("at least one boundary required")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                "boundaries must be strictly increasing")
+        self.boundaries = bounds
+
+    def should_cut(self, event_count: int, t_lo: int,
+                   last_time: Optional[int],
+                   next_time: int) -> Optional[int]:
+        # The last boundary <= next_time; a cut only happens the first time
+        # a boundary is crossed (it must exceed the era's own t_lo).
+        index = bisect.bisect_right(self.boundaries, next_time) - 1
+        if index >= 0 and self.boundaries[index] > t_lo:
+            return self.boundaries[index]
+        return None
+
+    def describe(self) -> str:
+        return f"ExplicitBoundariesPolicy({len(self.boundaries)} cuts)"

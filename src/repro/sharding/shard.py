@@ -1,0 +1,88 @@
+"""One era of a time-sharded DeltaGraph federation.
+
+An :class:`EraShard` pairs a DeltaGraph with the metadata the cross-shard
+router needs: the half-open time span ``[t_lo, t_hi)`` it owns, the store
+(and its cache namespace) its payloads live in, how many events it indexed,
+and whether it is *sealed* (a finished era — write-once from here on) or
+the *live tail* (the one shard still accepting appends; ``t_hi`` is open).
+
+The shard's DeltaGraph is built with ``initial_graph`` set to the previous
+era's final state, so ``get_snapshot(t)`` on the owning shard returns the
+full graph at ``t`` — earlier shards never need to be consulted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.deltagraph import DeltaGraph, _store_namespace
+from ..storage.kvstore import KVStore
+
+__all__ = ["EraShard"]
+
+
+@dataclass
+class EraShard:
+    """A DeltaGraph plus era metadata inside a sharded history index."""
+
+    shard_id: int
+    index: DeltaGraph
+    store: KVStore
+    #: Inclusive start of the era's time span.
+    t_lo: int
+    #: Exclusive end of the span; ``None`` while this shard is the live tail.
+    t_hi: Optional[int] = None
+    sealed: bool = False
+    #: Events indexed by this shard (bulk-built plus appended).
+    event_count: int = 0
+    #: Timestamp of the newest event routed here (``None`` if none yet).
+    last_time: Optional[int] = None
+    #: True while ``t_lo`` is a placeholder (a tail opened over an empty
+    #: trace); the federation snaps it to the first appended event's
+    #: timestamp so live-grown and bulk-built era layouts agree.
+    provisional_t_lo: bool = False
+    #: Cache-namespace token of the shard's store — every cache entry the
+    #: shard creates in a shared :class:`~repro.cache.delta_cache.DeltaCache`
+    #: is keyed under this prefix, which is what keeps one cache safe to
+    #: share across a whole federation.
+    namespace: str = field(default="", repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.namespace:
+            self.namespace = _store_namespace(self.store)
+
+    def overlaps(self, start: int, end: int) -> bool:
+        """Whether the era's span intersects the half-open ``[start, end)``."""
+        if self.t_hi is not None and self.t_hi <= start:
+            return False
+        return self.t_lo < end
+
+    def seal_era(self, t_hi: int) -> int:
+        """Close the era at ``t_hi`` (exclusive); returns leaves sealed.
+
+        Every buffered recent event is sealed into leaves
+        (``seal(partial=True)``) so the era answers queries without a
+        recent-eventlist tail.  The final seal's retired provisional
+        generation is deliberately **not** purged here: queries planned just
+        before the rollover may still reference those payloads, and the
+        read-during-ingest grace contract says they survive one seal.  A
+        sealed era never seals again, though, so nothing later would purge
+        them either — the federation therefore flushes sealed shards at the
+        *next* rollover (or an explicit
+        :meth:`ShardedHistoryIndex.purge_retired
+        <repro.sharding.federation.ShardedHistoryIndex.purge_retired>`),
+        deleting the retired store keys and dropping their groups from the
+        shared delta cache instead of pinning them until eviction.
+        """
+        sealed = self.index.seal(partial=True)
+        self.t_hi = t_hi
+        self.sealed = True
+        return sealed
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the shard."""
+        hi = "open" if self.t_hi is None else str(self.t_hi)
+        state = "sealed" if self.sealed else "live"
+        return (f"EraShard(#{self.shard_id} [{self.t_lo}, {hi}) {state}, "
+                f"{self.event_count} events)")

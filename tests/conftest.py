@@ -8,6 +8,18 @@ from __future__ import annotations
 
 import pytest
 
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test-only dep
+    pass
+else:
+    # One fixed profile for every property-based test: derandomized (the
+    # same example sequence on every machine) and without the per-example
+    # deadline (slow shared CI runners trip it spuriously).  Individual
+    # @settings decorators still override the fields they set.
+    settings.register_profile("repro-fixed", deadline=None, derandomize=True)
+    settings.load_profile("repro-fixed")
+
 from repro.core.events import EventList
 from repro.core.snapshot import GraphSnapshot
 from repro.datasets.coauthorship import CoauthorshipConfig, generate_coauthorship_trace

@@ -1,0 +1,183 @@
+"""Differential conformance for the time-sharded index federation.
+
+The defining property of the sharded index is invisibility: for any trace
+``E`` and shard policy ``P``,
+
+    ShardedHistoryIndex.build(E, P)   ==   DeltaGraph.build(E)
+
+where "==" means *byte-identical snapshots* for every query — singlepoint
+(including exactly at era cuts), multipoint point-sets straddling several
+shards, interval graphs, and after live ingestion whose batches span era
+rollovers — across both codecs, both store backends, and cached/uncached
+paths.  Reuses the canonicalization and trace generator of the ingest
+conformance suite (same tests/ directory, unique module name).
+
+The CI conformance matrix restricts the codec axis through the
+``REPRO_CONFORMANCE_CODECS`` environment variable, exactly like the ingest
+suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+from test_ingest_conformance import CODECS, canonical_bytes, make_trace
+from test_sharding import simple_trace
+
+from repro.cache.delta_cache import DeltaCache
+from repro.core.deltagraph import DeltaGraph
+from repro.core.events import EventList
+from repro.sharding import (
+    EventCountPolicy,
+    ExplicitBoundariesPolicy,
+    ShardedHistoryIndex,
+    TimeSpanPolicy,
+)
+from repro.storage.disk_store import DiskKVStore
+from repro.storage.memory_store import InMemoryKVStore
+
+STORES = ["memory", "disk"]
+
+LEAF = 24
+ARITY = 2
+
+
+@pytest.fixture(params=STORES)
+def store_factory(request, tmp_path):
+    """A fresh per-shard store factory of the parametrized backend."""
+    if request.param == "memory":
+        return lambda shard_id: InMemoryKVStore()
+    return lambda shard_id: DiskKVStore(str(tmp_path / f"shard{shard_id}.db"))
+
+
+def era_cut_times(index: ShardedHistoryIndex) -> list:
+    """Every era boundary, plus the timepoints hugging it on both sides."""
+    times = []
+    for shard in index.shards[1:]:
+        times.extend((shard.t_lo - 1, shard.t_lo, shard.t_lo + 1))
+    return times
+
+
+def probe_times(events: EventList, index: ShardedHistoryIndex) -> list:
+    start, end = events.start_time, events.end_time
+    spread = [start + (end - start) * i // 6 for i in range(7)]
+    return sorted(set(spread + era_cut_times(index)))
+
+
+def assert_identical(sharded: ShardedHistoryIndex, reference: DeltaGraph,
+                     times: list) -> None:
+    """Byte-identical singlepoint, multipoint, and interval retrieval."""
+    for t in times:
+        assert canonical_bytes(sharded.get_snapshot(t)) == \
+            canonical_bytes(reference.get_snapshot(t)), f"singlepoint @ {t}"
+    for got, want in zip(sharded.get_snapshots(times),
+                         reference.get_snapshots(times)):
+        assert canonical_bytes(got) == canonical_bytes(want), \
+            f"multipoint @ {want.time}"
+    lo, hi = min(times), max(times) + 1
+    assert canonical_bytes(sharded.get_interval_graph(lo, hi)) == \
+        canonical_bytes(reference.get_interval_graph(lo, hi)), "interval"
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_sharded_matches_unsharded_across_backends(codec, store_factory):
+    """Bulk build: every query byte-identical, both codecs, both stores."""
+    events = make_trace(420, seed=101)
+    reference = DeltaGraph.build(events, leaf_eventlist_size=LEAF,
+                                 arity=ARITY, codec=codec)
+    sharded = ShardedHistoryIndex.build(
+        events, EventCountPolicy(110), store_factory=store_factory,
+        leaf_eventlist_size=LEAF, arity=ARITY, codec=codec)
+    assert len(sharded.shards) >= 3, "workload must span several shards"
+    assert_identical(sharded, reference, probe_times(events, sharded))
+
+
+@pytest.mark.parametrize("codec", CODECS)
+def test_post_ingest_conformance_spanning_rollovers(codec, store_factory):
+    """build(prefix) + ingest(suffix) == build(full), suffix spanning cuts."""
+    events = make_trace(430, seed=67)
+    split = 150
+    sharded = ShardedHistoryIndex.build(
+        events[:split], EventCountPolicy(100), store_factory=store_factory,
+        leaf_eventlist_size=LEAF, arity=ARITY, codec=codec)
+    shards_before = len(sharded.shards)
+    # One batch crossing at least two era cuts.
+    assert sharded.append_batch(list(events)[split:]) == len(events) - split
+    assert len(sharded.shards) >= shards_before + 2
+    reference = DeltaGraph.build(events, leaf_eventlist_size=LEAF,
+                                 arity=ARITY, codec=codec)
+    assert_identical(sharded, reference, probe_times(events, sharded))
+
+
+def test_query_at_exact_era_cut_with_timestamp_ties():
+    """t == era_cut routes to the later shard and stays byte-identical.
+
+    The tie-heavy trace makes several events share timestamps right at the
+    deferred cut points, the trickiest routing edge.
+    """
+    events = simple_trace(360, tie_every=3)
+    reference = DeltaGraph.build(events, leaf_eventlist_size=LEAF)
+    for policy in (EventCountPolicy(90), TimeSpanPolicy(40)):
+        sharded = ShardedHistoryIndex.build(events, policy,
+                                            leaf_eventlist_size=LEAF)
+        assert len(sharded.shards) >= 3
+        for t in era_cut_times(sharded):
+            assert canonical_bytes(sharded.get_snapshot(t)) == \
+                canonical_bytes(reference.get_snapshot(t)), \
+                f"{policy.describe()} @ {t}"
+
+
+def test_multipoint_straddling_three_shards():
+    """One point-set spanning three eras, byte-identical and in order."""
+    events = make_trace(400, seed=31)
+    reference = DeltaGraph.build(events, leaf_eventlist_size=LEAF)
+    cuts = [events.start_time + (events.end_time - events.start_time) // 3,
+            events.start_time + 2 * (events.end_time - events.start_time) // 3]
+    sharded = ShardedHistoryIndex.build(events,
+                                        ExplicitBoundariesPolicy(cuts),
+                                        leaf_eventlist_size=LEAF)
+    assert len(sharded.shards) == 3
+    times = [events.start_time + 3, cuts[0], cuts[0] + 1,
+             cuts[1] - 1, cuts[1], events.end_time]
+    got = sharded.get_snapshots(times)
+    want = reference.get_snapshots(times)
+    assert [s.time for s in got] == times
+    for g, w in zip(got, want):
+        assert canonical_bytes(g) == canonical_bytes(w), f"@ {w.time}"
+
+
+def test_ingest_batch_spanning_a_rollover_stays_queryable_mid_stream():
+    """Interleaved ingest/query around a rollover matches a full rebuild."""
+    events = make_trace(380, seed=53)
+    sharded = ShardedHistoryIndex.build(
+        events[:120], EventCountPolicy(120), leaf_eventlist_size=LEAF)
+    consumed = 120
+    for batch in (events[120:200], events[200:290], events[290:]):
+        sharded.append_batch(list(batch))
+        consumed += len(batch)
+        prefix = EventList(list(events)[:consumed])
+        reference = DeltaGraph.build(prefix, leaf_eventlist_size=LEAF)
+        t = prefix.end_time
+        assert canonical_bytes(sharded.get_snapshot(t)) == \
+            canonical_bytes(reference.get_snapshot(t))
+        mid = (prefix.start_time + prefix.end_time) // 2
+        assert canonical_bytes(sharded.get_snapshot(mid)) == \
+            canonical_bytes(reference.get_snapshot(mid))
+
+
+def test_shared_cache_keeps_conformance_warm_and_cold():
+    """A federation-wide DeltaCache never changes results, warm or cold."""
+    events = make_trace(360, seed=11)
+    cache = DeltaCache(max_bytes=4 << 20)
+    sharded = ShardedHistoryIndex.build(
+        events, EventCountPolicy(95), cache=cache,
+        leaf_eventlist_size=LEAF)
+    reference = DeltaGraph.build(events, leaf_eventlist_size=LEAF)
+    times = probe_times(events, sharded)
+    cold = [canonical_bytes(s) for s in sharded.get_snapshots(times)]
+    stats = cache.stats()
+    assert stats.insertions > 0
+    warm = [canonical_bytes(s) for s in sharded.get_snapshots(times)]
+    assert cache.stats().hits > stats.hits, "second pass must hit the cache"
+    wanted = [canonical_bytes(reference.get_snapshot(t)) for t in times]
+    assert cold == wanted
+    assert warm == wanted
