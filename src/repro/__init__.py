@@ -34,6 +34,7 @@ from .errors import (
     StorageError,
     TimeOutOfRangeError,
 )
+from .scan import EvolutionScanner, ScanStep
 from .sharding import (
     EraShard,
     EventCountPolicy,
@@ -64,6 +65,8 @@ __all__ = [
     "ReproError",
     "StorageError",
     "TimeOutOfRangeError",
+    "EvolutionScanner",
+    "ScanStep",
     "EraShard",
     "EventCountPolicy",
     "ExplicitBoundariesPolicy",

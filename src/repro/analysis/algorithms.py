@@ -32,13 +32,30 @@ def _adjacency(graph) -> Dict[object, Set[object]]:
 
 
 def pagerank(graph, damping: float = 0.85, iterations: int = 20,
-             tolerance: float = 1e-9) -> Dict[object, float]:
-    """Power-iteration PageRank; dangling mass is redistributed uniformly."""
+             tolerance: float = 1e-9,
+             start: Optional[Dict[object, float]] = None
+             ) -> Dict[object, float]:
+    """Power-iteration PageRank; dangling mass is redistributed uniformly.
+
+    ``start`` warm-starts the iteration from a previous score map (nodes it
+    does not cover start at ``1/n``; the vector is renormalized to sum 1).
+    Evolution scans use this to converge in a few sweeps per step, since
+    consecutive snapshots overlap heavily
+    (:class:`~repro.scan.operators.WarmPageRankOperator`).
+    """
     adjacency = _adjacency(graph)
     n = len(adjacency)
     if n == 0:
         return {}
-    rank = {v: 1.0 / n for v in adjacency}
+    if start:
+        rank = {v: start.get(v, 1.0 / n) for v in adjacency}
+        total = sum(rank.values())
+        if total > 0:
+            rank = {v: score / total for v, score in rank.items()}
+        else:
+            rank = {v: 1.0 / n for v in adjacency}
+    else:
+        rank = {v: 1.0 / n for v in adjacency}
     for _ in range(iterations):
         new_rank = {v: (1.0 - damping) / n for v in adjacency}
         dangling_mass = sum(rank[v] for v, nbrs in adjacency.items() if not nbrs)

@@ -3,7 +3,30 @@
 These implement the kinds of dynamic-network analyses the paper's
 introduction motivates (and its Figure 1 illustrates): tracking how
 centrality scores, densities, and other per-snapshot measures evolve across
-a series of historical snapshots retrieved through the DeltaGraph.
+a series of historical snapshots.
+
+Every helper accepts two kinds of ``source``:
+
+* a **sequence of snapshots** the caller already retrieved (a list of
+  :class:`~repro.core.snapshot.GraphSnapshot` or
+  :class:`~repro.graphpool.histgraph.HistGraph` views) — the classic
+  "independent multipoint" path;
+* a **manager, index, or scanner** (:class:`~repro.query.managers.GraphManager`,
+  :class:`~repro.query.managers.HistoryManager`, a raw
+  :class:`~repro.core.deltagraph.DeltaGraph` /
+  :class:`~repro.sharding.federation.ShardedHistoryIndex`, or an
+  :class:`~repro.scan.scanner.EvolutionScanner`) — the helper then streams
+  through one **evolution scan** (one seed retrieval plus delta replay, see
+  DESIGN.md §10) instead of paying one retrieval per timepoint.  Timepoints
+  come from ``times=[...]`` or the ``start``/``end``/``stride`` trio.
+
+The ``times`` contract
+----------------------
+Every returned :class:`SnapshotSeries` carries the *real* timepoint of each
+measurement.  For snapshot-sequence sources these are the snapshots' own
+``.time`` attributes (which retrieval always stamps); callers measuring
+synthetic snapshots without a time must pass an explicit ``times=``
+sequence — the helpers refuse to invent enumeration indices silently.
 """
 
 from __future__ import annotations
@@ -11,7 +34,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.snapshot import GraphSnapshot
 from .algorithms import pagerank, top_k_by_score
 
 __all__ = ["SnapshotSeries", "centrality_evolution", "rank_evolution",
@@ -30,28 +52,109 @@ class SnapshotSeries:
         return list(zip(self.times, self.values))
 
 
-def _measure_over(snapshots: Sequence, measure: Callable) -> SnapshotSeries:
-    times = [getattr(s, "time", i) for i, s in enumerate(snapshots)]
-    return SnapshotSeries(times=times, values=[measure(s) for s in snapshots])
+def _series_times(snapshots: Sequence,
+                  times: Optional[Sequence[int]]) -> List[int]:
+    """Resolve the real timepoints of a snapshot sequence.
+
+    Explicit ``times`` win (length-checked); otherwise each snapshot's own
+    ``.time`` is used.  A snapshot without a time is an error — silently
+    numbering the series 0..K-1 (the old behaviour) produced series whose
+    x-axis had nothing to do with history.
+    """
+    if times is not None:
+        resolved = [int(t) for t in times]
+        if len(resolved) != len(snapshots):
+            raise ValueError(
+                f"times has {len(resolved)} entries for "
+                f"{len(snapshots)} snapshots")
+        return resolved
+    resolved = []
+    for position, snapshot in enumerate(snapshots):
+        time = getattr(snapshot, "time", None)
+        if time is None:
+            raise ValueError(
+                f"snapshot at position {position} has no .time; retrieval "
+                f"stamps times automatically — for synthetic snapshots "
+                f"pass an explicit times= sequence")
+        resolved.append(time)
+    return resolved
 
 
-def centrality_evolution(snapshots: Sequence, iterations: int = 20
-                         ) -> SnapshotSeries:
-    """PageRank score maps for each snapshot in the series."""
-    return _measure_over(snapshots,
-                         lambda s: pagerank(s, iterations=iterations))
+def _as_scanner(source):
+    """An :class:`EvolutionScanner` for manager/index sources, else None."""
+    from ..scan.scanner import EvolutionScanner
+    if isinstance(source, EvolutionScanner):
+        return source
+    index = getattr(source, "index", None)  # GraphManager / HistoryManager
+    if index is not None and hasattr(index, "get_snapshot"):
+        return EvolutionScanner(index)
+    if hasattr(source, "get_snapshot"):  # raw DeltaGraph / sharded federation
+        return EvolutionScanner(source)
+    return None
 
 
-def rank_evolution(snapshots: Sequence, track_top_k: int = 25,
-                   iterations: int = 20) -> Dict[object, List[Optional[int]]]:
+def _measure_over(snapshots: Sequence, measure: Callable,
+                  times: Optional[Sequence[int]] = None) -> SnapshotSeries:
+    resolved = _series_times(snapshots, times)
+    return SnapshotSeries(times=resolved,
+                          values=[measure(s) for s in snapshots])
+
+
+def _scan_series(scanner, measure: Callable, times, start, end, stride
+                 ) -> SnapshotSeries:
+    """Stream ``measure`` over one evolution scan of the scanner's index."""
+    out_times: List[int] = []
+    values: List[object] = []
+    for step in scanner.scan(times, start=start, end=end, stride=stride):
+        out_times.append(step.time)
+        values.append(measure(step.graph))
+    return SnapshotSeries(times=out_times, values=values)
+
+
+def _operator_series(scanner, operator, times, start, end, stride
+                     ) -> SnapshotSeries:
+    """Run one incremental operator over a scan and return its series."""
+    return scanner.run([operator], times, start=start, end=end,
+                       stride=stride)[operator.name]
+
+
+def centrality_evolution(source, iterations: int = 20,
+                         times: Optional[Sequence[int]] = None, *,
+                         start: Optional[int] = None,
+                         end: Optional[int] = None,
+                         stride: Optional[int] = None) -> SnapshotSeries:
+    """PageRank score maps for each snapshot in the series.
+
+    With a manager/index/scanner ``source`` the snapshots are produced by
+    one evolution scan (PageRank itself is recomputed per step with a cold
+    start, so the scores match the snapshot-sequence path exactly; use
+    :class:`~repro.scan.operators.WarmPageRankOperator` directly for the
+    warm-started variant).
+    """
+    measure = lambda s: pagerank(s, iterations=iterations)  # noqa: E731
+    scanner = _as_scanner(source)
+    if scanner is not None:
+        return _scan_series(scanner, measure, times, start, end, stride)
+    return _measure_over(source, measure, times)
+
+
+def rank_evolution(source, track_top_k: int = 25, iterations: int = 20,
+                   times: Optional[Sequence[int]] = None, *,
+                   start: Optional[int] = None, end: Optional[int] = None,
+                   stride: Optional[int] = None
+                   ) -> Dict[object, List[Optional[int]]]:
     """Evolution of PageRank *ranks* for the final snapshot's top-k nodes.
 
     Reproduces the analysis behind the paper's Figure 1: compute PageRank on
     every snapshot, identify the nodes ranked in the top ``k`` in the most
     recent snapshot, and report each such node's rank in every earlier
-    snapshot (``None`` when the node does not exist yet).
+    snapshot (``None`` when the node does not exist yet).  Ranks are
+    deterministic: ties in score order by ``str(node)``, exactly like
+    :func:`~repro.analysis.algorithms.top_k_by_score`.
     """
-    score_series = centrality_evolution(snapshots, iterations=iterations)
+    score_series = centrality_evolution(source, iterations=iterations,
+                                        times=times, start=start, end=end,
+                                        stride=stride)
     final_scores = score_series.values[-1]
     tracked = [node for node, _ in top_k_by_score(final_scores, track_top_k)]
     evolution: Dict[object, List[Optional[int]]] = {node: [] for node in tracked}
@@ -64,16 +167,40 @@ def rank_evolution(snapshots: Sequence, track_top_k: int = 25,
     return evolution
 
 
-def density_series(snapshots: Sequence[GraphSnapshot]) -> SnapshotSeries:
+def density_series(source, times: Optional[Sequence[int]] = None, *,
+                   start: Optional[int] = None, end: Optional[int] = None,
+                   stride: Optional[int] = None) -> SnapshotSeries:
     """Edge density (|E| / |V|) for each snapshot (the "average monthly
-    density since 1997" style of query from the introduction)."""
+    density since 1997" style of query from the introduction).
+
+    Manager/index/scanner sources stream through one evolution scan with
+    the incremental :class:`~repro.scan.operators.DensityOperator` — the
+    counts are maintained event-by-event, never recomputed per snapshot.
+    """
+    scanner = _as_scanner(source)
+    if scanner is not None:
+        from ..scan.operators import DensityOperator
+        return _operator_series(scanner, DensityOperator(), times, start,
+                                end, stride)
+
     def density(snapshot) -> float:
         nodes = snapshot.num_nodes()
         return snapshot.num_edges() / nodes if nodes else 0.0
-    return _measure_over(snapshots, density)
+    return _measure_over(source, density, times)
 
 
-def growth_series(snapshots: Sequence[GraphSnapshot]) -> SnapshotSeries:
-    """``(num_nodes, num_edges)`` per snapshot."""
-    return _measure_over(snapshots,
-                         lambda s: (s.num_nodes(), s.num_edges()))
+def growth_series(source, times: Optional[Sequence[int]] = None, *,
+                  start: Optional[int] = None, end: Optional[int] = None,
+                  stride: Optional[int] = None) -> SnapshotSeries:
+    """``(num_nodes, num_edges)`` per snapshot.
+
+    Manager/index/scanner sources stream through one evolution scan with
+    the incremental :class:`~repro.scan.operators.GrowthOperator`.
+    """
+    scanner = _as_scanner(source)
+    if scanner is not None:
+        from ..scan.operators import GrowthOperator
+        return _operator_series(scanner, GrowthOperator(), times, start,
+                                end, stride)
+    return _measure_over(source,
+                         lambda s: (s.num_nodes(), s.num_edges()), times)

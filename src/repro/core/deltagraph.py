@@ -1260,6 +1260,77 @@ class DeltaGraph:
         merged.time = time
         return merged
 
+    # ==================================================================
+    # streaming replay (evolution scans, repro.scan)
+    # ==================================================================
+
+    def eventlist_spans(self) -> List[Tuple[Optional[int], Optional[int], str]]:
+        """The sealed leaf-eventlist windows, oldest first.
+
+        Each entry is ``(left_time, right_time, eventlist_id)``: the stored
+        chunk holds the events with ``left_time <= e.time <= right_time``
+        that turned the left leaf's snapshot into the right leaf's (ties at
+        a chunk boundary may appear on either side, but times never decrease
+        across consecutive spans).  This is the replay backbone of the
+        :class:`~repro.scan.scanner.EvolutionScanner`: a scan walks these
+        windows in order instead of planning one retrieval per timepoint.
+        """
+        with self._lock:
+            return [(self.skeleton.nodes[edge.source].time,
+                     self.skeleton.nodes[edge.target].time,
+                     edge.delta_id)
+                    for edge in self.skeleton.eventlist_edges()]
+
+    def fetch_eventlist(self, eventlist_id: str,
+                        components: Optional[Sequence[str]] = None,
+                        scratch: Optional[Dict] = None) -> List[Event]:
+        """Read one stored leaf-eventlist, merged and time-sorted.
+
+        Returns exactly the event sequence retrieval replays for that chunk
+        (columnar components merged, stable-sorted by time), going through
+        the shared :class:`~repro.cache.delta_cache.DeltaCache` when one is
+        configured.  ``scratch`` is a caller-held mapping reused across
+        calls so cacheless scans still read every storage key at most once.
+        """
+        components = self._normalize_components(components)
+        return list(self._fetch_events(eventlist_id, components,
+                                       local=scratch))
+
+    def recent_change_events(self, components: Optional[Sequence[str]] = None
+                             ) -> List[Event]:
+        """The not-yet-sealed recent events, columnar-split and time-sorted.
+
+        The same component split and ordering
+        :meth:`_apply_recent_events` uses during retrieval (a deletion
+        carrying attributes becomes a bare structural event plus attribute
+        tombstones), returned as a private copy.
+        """
+        components = self._normalize_components(components)
+        with self._lock:
+            by_component = split_events_by_component(self._recent_events)
+        merged: List[Event] = []
+        for component in components:
+            merged.extend(by_component.get(component, []))
+        merged.sort(key=lambda e: e.time)  # stable: ties keep component order
+        return merged
+
+    def replay_state(self, components: Optional[Sequence[str]] = None
+                     ) -> Tuple[List[Tuple[Optional[int], Optional[int], str]],
+                                List[Event]]:
+        """One atomic ``(eventlist_spans, recent_change_events)`` capture.
+
+        A replay cursor must see the sealed spans and the recent tail as of
+        the *same* instant: captured separately, a seal racing in between
+        would move events out of the recent list after the span list was
+        taken, and the scan would silently drop them.  Both views are taken
+        under one hold of the index lock (appends/seals serialize on it),
+        which is what makes a scan an as-of-start view even when live
+        ingestion races it.
+        """
+        with self._lock:
+            return (self.eventlist_spans(),
+                    self.recent_change_events(components))
+
     def get_interval_graph(self, start: int, end: int,
                            components: Optional[Sequence[str]] = None,
                            include_transient: bool = True,

@@ -152,6 +152,34 @@ class HistoryManager:
         """Materialize one DeltaGraph node in memory."""
         return self.index.materialize(node_id)
 
+    def scanner(self, components: Optional[Sequence[str]] = None
+                ) -> "EvolutionScanner":
+        """An :class:`~repro.scan.scanner.EvolutionScanner` over the index.
+
+        The scanner object exposes :meth:`scan
+        <repro.scan.scanner.EvolutionScanner.scan>` (step streaming),
+        :meth:`run <repro.scan.scanner.EvolutionScanner.run>` (incremental
+        operators) and per-scan :class:`~repro.scan.scanner.ScanStats`.
+        """
+        from ..scan.scanner import EvolutionScanner
+        return EvolutionScanner(self.index, components=components)
+
+    def scan(self, times: Optional[Sequence[int]] = None, *,
+             start: Optional[int] = None, end: Optional[int] = None,
+             stride: Optional[int] = None,
+             components: Optional[Sequence[str]] = None):
+        """Stream ``(time, snapshot)`` steps over a range of history.
+
+        One seed retrieval at the first timepoint, then delta replay — K
+        timepoints cost 1 plan + O(changes in range) instead of K plans
+        (DESIGN.md §10).  Yields :class:`~repro.scan.scanner.ScanStep`
+        objects whose ``graph`` is the scanner's working snapshot; take
+        ``step.snapshot()`` to retain one.  Works identically over a
+        sharded index (eras are chained at their boundary snapshots).
+        """
+        return self.scanner(components).scan(times, start=start, end=end,
+                                             stride=stride)
+
     def append_events(self, events: Iterable[Event]) -> None:
         """Feed live updates into the index's recent eventlist."""
         self.index.append_batch(events)
@@ -305,6 +333,40 @@ class GraphManager:
         attr_filter = parse_attr_options(attr_options)
         snapshot = self.history.retrieve_interval(start, end, attr_filter)
         return self._register(snapshot, end)
+
+    # ------------------------------------------------------------------
+    # evolution scans (DESIGN.md §10)
+    # ------------------------------------------------------------------
+
+    def scanner(self, components: Optional[Sequence[str]] = None):
+        """An :class:`~repro.scan.scanner.EvolutionScanner` over the index."""
+        return self.history.scanner(components)
+
+    def scan(self, times: Optional[Sequence[int]] = None, *,
+             start: Optional[int] = None, end: Optional[int] = None,
+             stride: Optional[int] = None,
+             components: Optional[Sequence[str]] = None,
+             register: bool = False):
+        """Stream an evolution scan through the manager facade.
+
+        By default yields :class:`~repro.scan.scanner.ScanStep` objects
+        (one seed retrieval + delta replay; see :meth:`HistoryManager.scan`).
+        With ``register=True`` every step is registered in the GraphPool and
+        yielded as a :class:`~repro.graphpool.histgraph.HistGraph` view
+        instead — overlay-aware consumers get pool-resident scan steps
+        (consecutive steps overlap heavily, which is exactly the workload
+        the pool's bit-pair dependency storage compresses); the caller
+        releases the views like any other retrieved graph.
+        """
+        steps = self.history.scan(times, start=start, end=end,
+                                  stride=stride, components=components)
+        if not register:
+            return steps
+
+        def registered():
+            for step in steps:
+                yield self._register(step.snapshot(), step.time)
+        return registered()
 
     # ------------------------------------------------------------------
     # pool management

@@ -1,0 +1,26 @@
+"""Streaming evolution scans: seed once, replay deltas, emit per-timepoint.
+
+See :mod:`repro.scan.scanner` for the scan engine and
+:mod:`repro.scan.operators` for the incremental-operator contract; DESIGN.md
+§10 documents the architecture and cost model.
+"""
+
+from .operators import (
+    DegreeOperator,
+    DensityOperator,
+    GrowthOperator,
+    ScanOperator,
+    WarmPageRankOperator,
+)
+from .scanner import EvolutionScanner, ScanStats, ScanStep
+
+__all__ = [
+    "EvolutionScanner",
+    "ScanStats",
+    "ScanStep",
+    "ScanOperator",
+    "DensityOperator",
+    "GrowthOperator",
+    "DegreeOperator",
+    "WarmPageRankOperator",
+]

@@ -366,6 +366,20 @@ class ShardedHistoryIndex:
         raise QueryError(
             "auxiliary indexes are not supported on a sharded index")
 
+    def scan_shards(self, start: int, end: int) -> List[EraShard]:
+        """Era shards that may hold events with ``start < e.time <= end``.
+
+        The cross-shard contract of the
+        :class:`~repro.scan.scanner.EvolutionScanner`: a scan that seeds at
+        ``start`` replays each returned shard's leaf-eventlists in era
+        order, entering every era at its boundary snapshot for free — the
+        working snapshot at ``t_lo`` *is* the next era's initial graph, so
+        no shard outside this list is ever read (zero foreign-shard reads).
+        """
+        with self._lock:
+            return [shard for shard in self._shards
+                    if shard.overlaps(start + 1, end + 1)]
+
     # ==================================================================
     # live ingestion (tail + era rollover)
     # ==================================================================

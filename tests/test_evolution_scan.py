@@ -1,0 +1,368 @@
+"""Evolution-scan conformance and analysis-helper tests.
+
+The core claim of ``repro.scan`` (DESIGN.md §10): a scanned sweep is
+snapshot-for-snapshot identical to independent multipoint retrieval —
+checked differentially across codecs, sharded/unsharded layouts, and
+cached/uncached configurations — while issuing store reads for one seed
+retrieval plus replay only (the op-count side lives in
+``benchmarks/test_scan_throughput.py``).  Also covered here: the
+incremental operators against their whole-snapshot counterparts, the
+``times`` contract of ``analysis/evolution.py``, rank-evolution tie
+determinism, and the manager facades (including GraphPool registration of
+scan steps).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.algorithms import degree_distribution, pagerank
+from repro.analysis.evolution import (
+    centrality_evolution,
+    density_series,
+    growth_series,
+    rank_evolution,
+)
+from repro.core.deltagraph import DeltaGraph
+from repro.core.events import Event, EventType
+from repro.core.snapshot import GraphSnapshot
+from repro.errors import QueryError
+from repro.query.managers import GraphManager, HistoryManager
+from repro.scan import (
+    DegreeOperator,
+    DensityOperator,
+    EvolutionScanner,
+    GrowthOperator,
+    WarmPageRankOperator,
+)
+from repro.sharding import EventCountPolicy
+from repro.storage.instrumented import InstrumentedKVStore
+from repro.storage.memory_store import InMemoryKVStore
+
+LEAF_SIZE = 250
+ARITY = 2
+
+
+def uniform_times(events, count):
+    start, end = events.start_time, events.end_time
+    return [start + (end - start) * (i + 1) // (count + 1)
+            for i in range(count)]
+
+
+def build_manager(events, *, sharded=False, codec=None, cached=False,
+                  store_factory=None):
+    kwargs = dict(leaf_eventlist_size=LEAF_SIZE, arity=ARITY, codec=codec)
+    if cached:
+        kwargs["cache_max_bytes"] = 16 << 20
+    if sharded:
+        kwargs["shard_policy"] = EventCountPolicy(max(len(events) // 3, 100))
+        if store_factory is not None:
+            kwargs["shard_store_factory"] = store_factory
+    return HistoryManager.build_index(events, **kwargs)
+
+
+class TestScanConformance:
+    """Scanned sweeps must equal independent multipoint retrieval."""
+
+    @pytest.mark.parametrize("codec", [None, "packed"],
+                             ids=["pickle", "packed"])
+    @pytest.mark.parametrize("sharded", [False, True],
+                             ids=["unsharded", "sharded"])
+    @pytest.mark.parametrize("cached", [False, True],
+                             ids=["uncached", "cached"])
+    def test_scan_matches_retrieve_many(self, small_churn_trace, codec,
+                                        sharded, cached):
+        manager = build_manager(small_churn_trace, sharded=sharded,
+                                codec=codec, cached=cached)
+        times = uniform_times(small_churn_trace, 10)
+        scanner = manager.scanner()
+        scanned = [(step.time, step.snapshot())
+                   for step in scanner.scan(times)]
+        fetched = manager.index.get_snapshots(times)
+        assert [time for time, _ in scanned] == times
+        for (time, scanned_snapshot), retrieved in zip(scanned, fetched):
+            assert scanned_snapshot.time == time == retrieved.time
+            assert scanned_snapshot == retrieved, f"mismatch at t={time}"
+        assert scanner.stats.steps_emitted == len(times)
+        if sharded:
+            assert scanner.stats.shards_entered >= 2
+
+    def test_scan_matches_reference_replay(self, small_churn_trace,
+                                           reference):
+        manager = build_manager(small_churn_trace)
+        times = uniform_times(small_churn_trace, 6)
+        for step in manager.scan(times):
+            assert step.snapshot() == reference(small_churn_trace, step.time)
+
+    def test_scan_over_ingested_tail(self, small_churn_trace):
+        """The replay must include the unsealed recent eventlist."""
+        events = list(small_churn_trace)
+        split = int(len(events) * 0.7)
+        manager = HistoryManager.build_index(
+            events[:split], leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+        manager.ingest(events[split:])
+        times = uniform_times(small_churn_trace, 8)
+        scanned = [step.snapshot() for step in manager.scan(times)]
+        for scanned_snapshot, retrieved in zip(
+                scanned, manager.index.get_snapshots(times)):
+            assert scanned_snapshot == retrieved
+
+    def test_scan_with_repeated_and_dense_times(self, small_growing_trace):
+        index = DeltaGraph.build(small_growing_trace,
+                                 leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+        middle = (small_growing_trace.start_time
+                  + small_growing_trace.end_time) // 2
+        times = [middle, middle, middle + 1, middle + 1, middle + 2]
+        steps = list(EvolutionScanner(index).scan(times))
+        assert [step.time for step in steps] == times
+        assert steps[0].snapshot() == steps[1].snapshot()
+        assert steps[1].changes == []  # nothing between equal timepoints
+        for step in steps:
+            assert step.snapshot() == index.get_snapshot(step.time)
+
+    def test_scan_component_restriction(self, small_churn_trace):
+        index = DeltaGraph.build(small_churn_trace,
+                                 leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+        times = uniform_times(small_churn_trace, 5)
+        steps = EvolutionScanner(index, components=("struct",)).scan(times)
+        for step in steps:
+            assert step.snapshot() == index.get_snapshot(
+                step.time, components=("struct",))
+
+    def test_sharded_scan_reads_no_foreign_shard(self, small_churn_trace):
+        stores = {}
+
+        def factory(shard_id):
+            stores[shard_id] = InstrumentedKVStore(InMemoryKVStore())
+            return stores[shard_id]
+
+        manager = build_manager(small_churn_trace, sharded=True,
+                                store_factory=factory)
+        shards = manager.index.shards
+        assert len(shards) >= 3
+        for store in stores.values():
+            store.reset_stats()
+        # Scan entirely inside the last era: earlier shards stay cold.
+        tail = shards[-1]
+        times = sorted({tail.t_lo, (tail.t_lo + tail.last_time) // 2,
+                        tail.last_time})
+        scanned = [step.snapshot() for step in manager.scan(times)]
+        for scanned_snapshot, retrieved in zip(
+                scanned, manager.index.get_snapshots(times)):
+            assert scanned_snapshot == retrieved
+        for shard in shards[:-1]:
+            assert stores[shard.shard_id].stats.gets == 0, (
+                f"scan read foreign shard {shard.shard_id}")
+
+
+class TestScanIsolation:
+    def test_interleaved_scans_keep_separate_stats(self, small_growing_trace):
+        """Each scan() accumulates into its own ScanStats object."""
+        index = DeltaGraph.build(small_growing_trace,
+                                 leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+        times = uniform_times(small_growing_trace, 6)
+        scanner = EvolutionScanner(index)
+        first = scanner.scan(times)
+        next(first)
+        first_stats = scanner.stats
+        second = scanner.scan(times[:3])
+        next(second)
+        second_stats = scanner.stats
+        assert first_stats is not second_stats
+        for _step in first:
+            pass
+        for _step in second:
+            pass
+        assert first_stats.steps_emitted == len(times)
+        assert second_stats.steps_emitted == 3
+
+    def test_seal_mid_scan_does_not_lose_events(self, small_churn_trace):
+        """A seal between steps must not corrupt the as-of-start capture."""
+        events = list(small_churn_trace)
+        split = int(len(events) * 0.8)
+        index = DeltaGraph.build(events[:split],
+                                 leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+        index.append_batch(events[split:])  # leaves an unsealed recent tail
+        assert len(index._recent_events) > 0
+        times = uniform_times(small_churn_trace, 6)
+        expected = index.get_snapshots(times)
+        steps = EvolutionScanner(index).scan(times)
+        seen = [next(steps).snapshot()]
+        index.seal(partial=True)  # recent events move into a new leaf
+        seen.extend(step.snapshot() for step in steps)
+        for scanned_snapshot, retrieved in zip(seen, expected):
+            assert scanned_snapshot == retrieved
+
+
+class TestTimeResolution:
+    def test_stride_range_clips_to_end(self):
+        times = EvolutionScanner.resolve_times(start=10, end=25, stride=7)
+        assert times == [10, 17, 24, 25]
+        assert EvolutionScanner.resolve_times(start=5, end=5, stride=3) == [5]
+
+    def test_invalid_specs_rejected(self):
+        resolve = EvolutionScanner.resolve_times
+        with pytest.raises(QueryError):
+            resolve(times=[1, 2], start=0, end=5, stride=1)
+        with pytest.raises(QueryError):
+            resolve(times=[])
+        with pytest.raises(QueryError):
+            resolve(times=[5, 3])
+        with pytest.raises(QueryError):
+            resolve(start=0, end=5)  # stride missing
+        with pytest.raises(QueryError):
+            resolve(start=0, end=5, stride=0)
+        with pytest.raises(QueryError):
+            resolve(start=9, end=5, stride=1)
+
+    def test_manager_scan_stride_facade(self, small_growing_trace):
+        manager = build_manager(small_growing_trace)
+        start = small_growing_trace.start_time + 50
+        end = small_growing_trace.end_time
+        stride = (end - start) // 5
+        # Snapshots must be taken *during* iteration: ScanStep.graph is the
+        # scanner's working snapshot and keeps advancing with the scan.
+        seen = [(step.time, step.snapshot())
+                for step in manager.scan(start=start, end=end, stride=stride)]
+        assert seen[0][0] == start and seen[-1][0] == end
+        for time, snapshot in seen:
+            assert snapshot == manager.index.get_snapshot(time)
+
+
+class TestOperators:
+    def test_incremental_operators_match_snapshot_measures(
+            self, small_churn_trace):
+        """Density/growth/degree maintained over churn == recomputed."""
+        index = DeltaGraph.build(small_churn_trace,
+                                 leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+        times = uniform_times(small_churn_trace, 8)
+        scanner = EvolutionScanner(index)
+        series = scanner.run(
+            [DensityOperator(), GrowthOperator(), DegreeOperator()], times)
+        snapshots = index.get_snapshots(times)
+        for position, snapshot in enumerate(snapshots):
+            nodes, edges = snapshot.num_nodes(), snapshot.num_edges()
+            assert series["growth"].values[position] == (nodes, edges)
+            expected_density = edges / nodes if nodes else 0.0
+            assert series["density"].values[position] == pytest.approx(
+                expected_density)
+            assert (series["degree_distribution"].values[position]
+                    == degree_distribution(snapshot))
+        assert series["density"].times == times
+
+    def test_warm_pagerank_tracks_cold_pagerank(self, small_growing_trace):
+        index = DeltaGraph.build(small_growing_trace,
+                                 leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+        times = uniform_times(small_growing_trace, 6)
+        warm = EvolutionScanner(index).run(
+            [WarmPageRankOperator(iterations=10, cold_iterations=40)],
+            times)["pagerank"]
+        for position, snapshot in enumerate(index.get_snapshots(times)):
+            cold = pagerank(snapshot, iterations=40)
+            warm_scores = warm.values[position]
+            assert set(warm_scores) == set(cold)
+            worst = max(abs(warm_scores[node] - cold[node])
+                        for node in cold)
+            assert worst < 5e-3, f"warm start drifted by {worst}"
+
+    def test_duplicate_operator_names_rejected(self, small_growing_trace):
+        index = DeltaGraph.build(small_growing_trace,
+                                 leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+        with pytest.raises(QueryError):
+            EvolutionScanner(index).run(
+                [DensityOperator(), DensityOperator()],
+                times=[small_growing_trace.end_time])
+
+
+class TestEvolutionHelpers:
+    def test_manager_and_snapshot_paths_agree(self, small_churn_trace):
+        manager = build_manager(small_churn_trace)
+        times = uniform_times(small_churn_trace, 6)
+        snapshots = manager.index.get_snapshots(times)
+
+        scan_density = density_series(manager, times=times)
+        snap_density = density_series(snapshots)
+        assert scan_density.times == snap_density.times == times
+        assert scan_density.values == pytest.approx(snap_density.values)
+
+        scan_growth = growth_series(manager, times=times)
+        assert scan_growth.values == growth_series(snapshots).values
+
+        scan_scores = centrality_evolution(manager, iterations=10,
+                                           times=times)
+        snap_scores = centrality_evolution(snapshots, iterations=10)
+        assert scan_scores.values == snap_scores.values
+
+        scan_ranks = rank_evolution(manager, track_top_k=5, iterations=10,
+                                    times=times)
+        snap_ranks = rank_evolution(snapshots, track_top_k=5, iterations=10)
+        assert scan_ranks == snap_ranks
+
+    def test_series_times_come_from_snapshots(self, small_growing_trace):
+        manager = build_manager(small_growing_trace)
+        times = uniform_times(small_growing_trace, 4)
+        snapshots = manager.index.get_snapshots(times)
+        series = growth_series(snapshots)
+        assert series.times == times  # real retrieval times, not 0..K-1
+        assert series.as_pairs()[0][0] == times[0]
+
+    def test_timeless_snapshots_need_explicit_times(self):
+        synthetic = [GraphSnapshot({("N", 1): 1}),
+                     GraphSnapshot({("N", 1): 1, ("N", 2): 1})]
+        with pytest.raises(ValueError, match="has no .time"):
+            growth_series(synthetic)
+        series = growth_series(synthetic, times=[100, 200])
+        assert series.times == [100, 200]
+        assert series.values == [(1, 0), (2, 0)]
+        with pytest.raises(ValueError, match="entries for"):
+            growth_series(synthetic, times=[100])
+
+    def test_rank_evolution_tie_ordering_deterministic(self):
+        """Score ties must rank by str(node), independent of dict order."""
+        def cycle_snapshot(node_order):
+            snapshot = GraphSnapshot(time=1)
+            for node in node_order:
+                snapshot.apply_event(Event(EventType.NODE_ADD, 1,
+                                           node_id=node))
+            nodes = sorted(node_order)
+            for position, node in enumerate(nodes):
+                nxt = nodes[(position + 1) % len(nodes)]
+                snapshot.apply_event(Event(
+                    EventType.EDGE_ADD, 1, edge_id=1000 + node,
+                    src=node, dst=nxt, directed=False))
+            return snapshot
+
+        forward = [cycle_snapshot([1, 2, 3, 4]), cycle_snapshot([1, 2, 3, 4])]
+        backward = [cycle_snapshot([4, 3, 2, 1]), cycle_snapshot([4, 3, 2, 1])]
+        ranks_forward = rank_evolution(forward, track_top_k=3, iterations=5)
+        ranks_backward = rank_evolution(backward, track_top_k=3, iterations=5)
+        assert ranks_forward == ranks_backward
+        # All scores tie on a symmetric cycle: ranks follow str(node) order.
+        assert ranks_forward == {1: [1, 1], 2: [2, 2], 3: [3, 3]}
+
+
+class TestManagerFacades:
+    def test_graph_manager_scan_registers_pool_views(self,
+                                                     small_growing_trace):
+        events = small_growing_trace
+        manager = GraphManager.load(events, leaf_eventlist_size=LEAF_SIZE,
+                                    arity=ARITY)
+        times = uniform_times(events, 4)
+        active_before = manager.pool.active_graph_count()
+        views = list(manager.scan(times, register=True))
+        assert manager.pool.active_graph_count() == active_before + len(times)
+        for view, retrieved in zip(views,
+                                   manager.index.get_snapshots(times)):
+            assert view.time == retrieved.time
+            assert view.to_snapshot() == retrieved
+        for view in views:
+            manager.release(view)
+        assert manager.pool.cleanup() >= 0
+
+    def test_scanner_facade_components(self, small_growing_trace):
+        manager = build_manager(small_growing_trace)
+        scanner = manager.scanner(components=("struct",))
+        time = small_growing_trace.end_time
+        (step,) = list(scanner.scan([time]))
+        assert step.snapshot() == manager.index.get_snapshot(
+            time, components=("struct",))
