@@ -3,7 +3,7 @@
 The op-count benchmark modules drop one JSON record per experiment into
 ``benchmarks/results/``.  CI runs those suites at several
 ``REPRO_BENCH_EVENTS`` sizes and calls this script after each run to fold
-the records into a single ``BENCH_pr4.json`` uploaded as a workflow
+the records into a single ``BENCH_pr9.json`` uploaded as a workflow
 artifact — downloading the artifact from two CI runs and diffing the files
 makes performance regressions (more store ops per query, more keys per
 seal, broken shard isolation) visible across PRs without rerunning
@@ -12,7 +12,7 @@ anything.
 Usage::
 
     python benchmarks/collect_trajectory.py --label events=12000 \
-        --out BENCH_pr4.json
+        --out BENCH_pr9.json
 
 Repeated invocations with different labels merge into the same output file
 (one ``runs`` entry per label); the results directory is re-read each time.
@@ -68,7 +68,7 @@ def main(argv=None) -> int:
     parser.add_argument("--label", required=True,
                         help="name of this run in the summary, "
                              "e.g. events=12000")
-    parser.add_argument("--out", default="BENCH_pr4.json",
+    parser.add_argument("--out", default="BENCH_pr9.json",
                         help="summary file to create or merge into")
     parser.add_argument("--results-dir", default=RESULTS_DIR,
                         help="directory of per-experiment JSON records")

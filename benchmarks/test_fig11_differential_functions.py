@@ -14,7 +14,6 @@ from __future__ import annotations
 import statistics
 import time
 
-import pytest
 
 from repro.core.deltagraph import DeltaGraph
 from repro.core.differential import MixedFunction

@@ -112,7 +112,7 @@ def test_fig6b_dataset2_with_root_materialized(benchmark, recorder,
             "seconds": series,
             "mean": statistics.mean(series),
         })
-        print(f"\n[fig6/dataset2 +root mat] mean "
+        print("\n[fig6/dataset2 +root mat] mean "
               f"{statistics.mean(series) * 1000:.1f} ms")
     finally:
         for node_id in list(delta_graph.materialized_nodes()):

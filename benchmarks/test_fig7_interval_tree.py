@@ -98,9 +98,9 @@ def test_fig7a_retrieval_times(benchmark, recorder, interval_tree,
             "dg_total_materialization": statistics.median(total_series),
         },
     })
-    print(f"\n[fig7a] mean ms — interval tree "
+    print("\n[fig7a] mean ms — interval tree "
           f"{statistics.mean(tree_series) * 1000:.1f}, "
-          f"DG (root's grandchildren mat.) "
+          "DG (root's grandchildren mat.) "
           f"{statistics.mean(grandchild_series) * 1000:.1f}, "
           f"DG (total mat.) {statistics.mean(total_series) * 1000:.1f}")
     # Paper shape: both DeltaGraph configurations beat the interval tree, and

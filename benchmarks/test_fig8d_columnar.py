@@ -55,7 +55,7 @@ def test_fig8d_structure_only_vs_full(benchmark, recorder, index, dataset2):
         "bytes_read": {"full": full_bytes, "structure_only": structure_bytes},
         "speedup": speedup,
     })
-    print(f"\n[fig8d] structure+attributes "
+    print("\n[fig8d] structure+attributes "
           f"{statistics.mean(full_series) * 1000:.1f} ms / {full_bytes} B vs "
           f"structure-only {statistics.mean(structure_series) * 1000:.1f} ms "
           f"/ {structure_bytes} B (speedup x{speedup:.1f})")

@@ -88,7 +88,7 @@ def test_append_cost_is_changed_path_not_index(num_events, recorder):
     #    index from scratch (the old build-once/read-only workflow).
     assert io.puts < rebuild_puts / 2, (
         f"append wrote {io.puts} keys, a rebuild writes {rebuild_puts} — "
-        f"ingestion is not paying off")
+        "ingestion is not paying off")
 
     # 4. Teardown deletes only what re-finalization wrote: the purge never
     #    deletes more than the provisional share of the writes.
@@ -146,7 +146,7 @@ def test_per_seal_cost_scales_with_height_not_size(recorder):
     cost_ratio = per_seal_full / max(per_seal_small, 1e-9)
     assert cost_ratio < size_ratio, (
         f"per-seal cost grew {cost_ratio:.2f}x for a {size_ratio:.2f}x "
-        f"larger history — that is O(index), not O(changed path)")
+        "larger history — that is O(index), not O(changed path)")
     recorder("ingest_cost_scaling", {
         "sizes": [small_n, BENCH_EVENTS],
         "per_seal_keys": [round(per_seal_small, 2), round(per_seal_full, 2)],

@@ -75,7 +75,7 @@ def test_packed_codec_halves_decoded_bytes(recorder, dataset1,
         "gets_packed": packed_store.stats.gets,
         "gets_pickle_zlib": pickle_store.stats.gets,
     })
-    print(f"\n[fastpath/codec] decoded bytes: packed "
+    print("\n[fastpath/codec] decoded bytes: packed "
           f"{packed_codec.decoded_bytes}B vs pickle+zlib "
           f"{pickle_codec.decoded_bytes}B (x{read_ratio:.2f}); stored "
           f"{stored_packed}B vs {stored_pickle}B (x{stored_ratio:.2f})")

@@ -14,7 +14,6 @@ two headline predictions against constructed indexes:
 
 from __future__ import annotations
 
-import statistics
 
 import pytest
 
@@ -71,7 +70,7 @@ def test_sec5_balanced_model(benchmark, recorder, balanced_index, dataset1):
         "measured_fetch_bytes_old_mid_new": fetch_bytes,
         "fetch_spread_max_over_min": spread,
     })
-    print(f"\n[sec5/balanced] predicted space/level "
+    print("\n[sec5/balanced] predicted space/level "
           f"{model.space_per_level():.0f} entries; measured per level "
           f"{measured_levels}; query fetch spread (max/min bytes) x{spread:.2f}")
     # Shape checks: per-level space within a factor ~2.5 of each other (the

@@ -73,7 +73,7 @@ def main() -> None:
         hits_before = cache.stats().hits
         bob.get_hist_graph(times[3])      # Bob rides Alice's fetches
         print(f"\nBob's query added {cache.stats().hits - hits_before} cache "
-              f"hits and 0 store reads")
+              "hits and 0 store reads")
 
         print("\nfinal cache state:", cache)
         stats = cache.stats()

@@ -49,7 +49,7 @@ def main() -> None:
           f"({stats.events_applied} events replayed)")
 
     print(f"\nrank evolution of the final top-{track_top_k} authors "
-          f"(columns = years, '.' = not yet present):")
+          "(columns = years, '.' = not yet present):")
     header = "author".ljust(8) + " ".join(f"{year % 100:>4d}" for year in years)
     print(header)
     for node, ranks in sorted(trajectories.items(),

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Serving: boot the query service and hit it with concurrent clients.
+
+The CI ``service-integration`` job runs exactly this script: it
+
+1. boots ``python -m repro.service`` as a **subprocess** over a demo
+   index and parses its ``SERVING host port`` line,
+2. runs N reader threads (each its own :class:`ServiceClient` connection,
+   i.e. its own server session and reader lease) querying *historical*
+   timepoints while a writer session ingests live batches,
+3. asserts **zero stale reads** — every historical response matches a
+   locally built reference index byte-for-byte — and **read-your-writes**
+   — the writer sees each batch in its next query,
+4. asserts the admission controller rejects request N+1 with a typed
+   error once the server is saturated,
+5. prints the server's aggregated stats report.
+
+Run with:  python examples/serving.py
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+import threading
+
+from repro.datasets.random_trace import (
+    RandomTraceConfig,
+    generate_random_trace,
+    generate_starting_snapshot,
+)
+from repro.query.attr_options import parse_attr_options
+from repro.query.managers import HistoryManager
+from repro.service import AdmissionRejected, ServiceClient, ServiceServer
+from repro.core.events import new_node
+
+NUM_READERS = 4
+QUERIES_PER_READER = 15
+WRITE_BATCHES = 5
+EVENTS = 600
+
+
+def demo_trace():
+    """The exact trace the server CLI builds for ``--events 600``."""
+    base, base_events = generate_starting_snapshot(30, 60, seed=11)
+    churn = generate_random_trace(base, RandomTraceConfig(
+        num_events=EVENTS, start_time=base.time + 1, seed=12))
+    return list(base_events) + list(churn)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Boot the server as a real subprocess (what a deployment does).
+    # ------------------------------------------------------------------
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service",
+         "--events", str(EVENTS), "--leaf-size", "50"],
+        stdout=subprocess.PIPE, text=True)
+    try:
+        banner = process.stdout.readline()
+        match = re.match(r"SERVING (\S+) (\d+)", banner)
+        assert match, f"unexpected server banner: {banner!r}"
+        host, port = match.group(1), int(match.group(2))
+        print(f"server subprocess pid={process.pid} on {host}:{port}")
+
+        # --------------------------------------------------------------
+        # 2. Readers vs writer, with a local reference index as oracle.
+        # --------------------------------------------------------------
+        events = demo_trace()
+        reference = HistoryManager.build_index(events, leaf_eventlist_size=50,
+                                               arity=4)
+        no_filter = parse_attr_options("")
+        last_time = max(event.time for event in events)
+        failures: list = []
+
+        def reader(seed: int) -> None:
+            try:
+                with ServiceClient(host, port) as client:
+                    for i in range(QUERIES_PER_READER):
+                        time = 1 + (seed * 41 + i * 17) % last_time
+                        served = client.get_snapshot(time).element_map()
+                        expected = reference.retrieve(
+                            time, no_filter).element_map()
+                        if served != expected:
+                            failures.append(f"stale read at t={time}")
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(f"reader {seed}: {exc!r}")
+
+        def writer() -> None:
+            try:
+                with ServiceClient(host, port) as client:
+                    for batch in range(WRITE_BATCHES):
+                        base_t = last_time + 1 + batch * 20
+                        ingested = client.ingest(
+                            [new_node(base_t + i, 10 ** 6 + batch * 20 + i)
+                             for i in range(20)])
+                        assert ingested == 20
+                        own = client.get_snapshot(base_t + 19).element_map()
+                        missing = [i for i in range(20)
+                                   if ("N", 10 ** 6 + batch * 20 + i)
+                                   not in own]
+                        if missing:
+                            failures.append(
+                                f"writer lost its own batch {batch}: "
+                                f"{missing}")
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                failures.append(f"writer: {exc!r}")
+
+        threads = [threading.Thread(target=reader, args=(n,))
+                   for n in range(NUM_READERS)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures, failures[:5]
+        print(f"{NUM_READERS} readers x {QUERIES_PER_READER} historical "
+              f"queries during {WRITE_BATCHES} live ingest batches: "
+              "0 stale reads, read-your-writes held")
+
+        # --------------------------------------------------------------
+        # 3. Admission cap: an in-process saturated server says no, typed.
+        # --------------------------------------------------------------
+        saturated = ServiceServer(
+            HistoryManager.build_index(events[:100], leaf_eventlist_size=20,
+                                       arity=2),
+            max_queued=1, lease_ttl=30)
+        sat_host, sat_port = saturated.start_in_background()
+        saturated.pause_dispatch()
+        blocked = ServiceClient(sat_host, sat_port)
+        from repro.service.protocol import (
+            PingOp, encode_frame, encode_request, frame_length,
+            decode_response,
+        )
+        blocked._sock.sendall(encode_frame(encode_request(1, [PingOp()])))
+        blocked._sock.sendall(encode_frame(encode_request(2, [PingOp()])))
+        body = blocked._recv_exactly(frame_length(blocked._recv_exactly(4)))
+        try:
+            decode_response(body)
+            raise AssertionError("request past the cap was not rejected")
+        except AdmissionRejected as exc:
+            print("admission control: request 2 of a max_queued=1 server "
+                  f"rejected typed ({exc})")
+        saturated.resume_dispatch()
+        blocked.close()
+        saturated.stop()
+
+        # --------------------------------------------------------------
+        # 4. The aggregated stats report, via the wire.
+        # --------------------------------------------------------------
+        with ServiceClient(host, port) as client:
+            report = client.stats()
+        service = report["service"]
+        print(f"server stats: {service['sessions_opened']} sessions, "
+              f"{service['requests_completed']} requests, "
+              f"{service['ops_executed']} ops, "
+              f"{service['requests_rejected']} rejected, "
+              f"{service['leases']['acquired']} leases acquired")
+        assert service["requests_completed"] >= (
+            NUM_READERS * QUERIES_PER_READER + 2 * WRITE_BATCHES)
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+    print("serving example finished")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,7 +10,7 @@ which is how the paper's "bitmap penalty" experiment compares the two.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 __all__ = [
     "pagerank",

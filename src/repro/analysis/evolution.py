@@ -74,8 +74,8 @@ def _series_times(snapshots: Sequence,
         if time is None:
             raise ValueError(
                 f"snapshot at position {position} has no .time; retrieval "
-                f"stamps times automatically — for synthetic snapshots "
-                f"pass an explicit times= sequence")
+                "stamps times automatically — for synthetic snapshots "
+                "pass an explicit times= sequence")
         resolved.append(time)
     return resolved
 

@@ -168,7 +168,7 @@ def candidate_paths(aux_state: Dict, label_sequence: Sequence[str]
     Both orientations of the (undirected) label sequence are matched, since
     paths are stored in canonical node order.
     """
-    wanted = tuple(str(l) for l in label_sequence)
+    wanted = tuple(str(label) for label in label_sequence)
     reversed_wanted = tuple(reversed(wanted))
     matches = []
     for (labels, nodes) in aux_state:

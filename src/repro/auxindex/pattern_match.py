@@ -12,8 +12,8 @@ example pattern).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..core.snapshot import GraphSnapshot
 from .framework import AuxHistQueryInterval, AuxSnapshot

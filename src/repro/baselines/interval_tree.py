@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..core.events import Event, EventList, EventType
+from ..core.events import Event, EventList
 from ..core.snapshot import ElementKey, GraphSnapshot
 
 __all__ = ["ElementInterval", "IntervalTree", "IntervalTreeSnapshotStore",

@@ -38,7 +38,7 @@ from __future__ import annotations
 import pickle
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
 
 from ..errors import ConfigurationError
 from .policies import EvictionPolicy, get_policy

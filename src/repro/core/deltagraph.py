@@ -34,15 +34,15 @@ import itertools
 import threading
 import weakref
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cache.delta_cache import CacheStats, DeltaCache
 from ..errors import ConfigurationError, DeltaGraphIndexError, QueryError
 from ..storage.compression import resolve_codec
 from ..storage.kvstore import KVStore, make_key
 from ..storage.memory_store import InMemoryKVStore
-from .delta import DELTA_COMPONENTS, Delta, DeltaStats
+from .delta import Delta, DeltaStats
 from .differential import DifferentialFunction, get_differential_function
 from .events import Event, EventList, EventType
 from .partition import HashPartitioner
@@ -249,7 +249,7 @@ class DeltaGraphConfig:
         if self.seal_policy not in ("size", "manual"):
             raise ConfigurationError(
                 f"unknown seal_policy {self.seal_policy!r}; "
-                f"choose 'size' or 'manual'")
+                "choose 'size' or 'manual'")
 
 
 @dataclass
@@ -356,7 +356,7 @@ class DeltaGraph:
                 raise ConfigurationError(
                     f"store {type(self.store).__name__} cannot switch to "
                     f"codec {self.config.codec!r} (no codec support, or it "
-                    f"already holds data written with another codec)")
+                    "already holds data written with another codec)")
         if cache is not None:
             self.cache: Optional[DeltaCache] = cache
         elif self.config.cache_max_bytes > 0:
@@ -406,11 +406,17 @@ class DeltaGraph:
         self._provisional: Optional[_ProvisionalRecord] = None
         #: Set while re-finalizing: newly created artifacts are recorded.
         self._recording: Optional[_ProvisionalRecord] = None
-        #: Retired (delta_id, keys) awaiting purge — kept for one extra
-        #: generation so queries planned before a seal still read their
-        #: payloads (the read-during-ingest grace period).
-        self._retired: List[Tuple[str, List[str]]] = []
+        #: Retired (generation, delta_id, keys) awaiting purge — kept for
+        #: one extra generation so queries planned before a seal still read
+        #: their payloads (the read-during-ingest grace period), and for as
+        #: long as a reader lease pins a generation at or below theirs
+        #: (the service layer's leases, see :meth:`pin_generation`).
+        self._retired: List[Tuple[int, str, List[str]]] = []
         self._generation = 0
+        #: Active reader-generation pins: generation -> refcount.  While a
+        #: pin at generation g is held, no payload retired at generation
+        #: >= g is purged.
+        self._pins: Dict[int, int] = {}
         self._last_leaf_id: Optional[str] = None
         #: Seals mark the provisional top dirty; the rebuild runs lazily at
         #: the next plan (amortizing one re-finalization per append burst).
@@ -618,7 +624,7 @@ class DeltaGraph:
         level = 1
         while level <= max_level:
             group = pending.get(level, [])
-            higher_pending = any(pending.get(l) for l in range(level + 1,
+            higher_pending = any(pending.get(lvl) for lvl in range(level + 1,
                                                                max_level + 1))
             if len(group) > 1 or (len(group) == 1 and higher_pending):
                 parent_entry = self._create_interior(group, function,
@@ -1803,21 +1809,35 @@ class DeltaGraph:
                 self.skeleton.remove_node(node_id)
         for delta_id in record.delta_ids:
             keys = self._delta_keys.pop(delta_id, [])
-            self._retired.append((delta_id, keys))
+            self._retired.append((record.generation, delta_id, keys))
         self.ingest_stats.interiors_retired += len(record.node_ids)
         self._provisional = None
         return rematerialize
 
     def _purge_retired(self) -> int:
-        """Delete the store keys (and cache groups) retired one seal ago."""
+        """Delete the store keys (and cache groups) retired one seal ago.
+
+        Payloads whose retirement generation is covered by an active reader
+        pin (:meth:`pin_generation`) are kept — they stay queued until the
+        first purge after the last covering pin is released.
+        """
         if not self._retired:
             return 0
-        retired, self._retired = self._retired, []
+        floor = min(self._pins) if self._pins else None
+        if floor is None:
+            retired, self._retired = self._retired, []
+        else:
+            retired = [entry for entry in self._retired if entry[0] < floor]
+            if not retired:
+                return 0
+            self._retired = [entry for entry in self._retired
+                             if entry[0] >= floor]
         if self.cache is not None:
             self.cache.invalidate_groups(
-                self._cache_group(delta_id) for delta_id, _keys in retired)
+                self._cache_group(delta_id)
+                for _gen, delta_id, _keys in retired)
         removed = 0
-        for _delta_id, keys in retired:
+        for _gen, _delta_id, keys in retired:
             for key in keys:
                 self.store.delete(key)
                 removed += 1
@@ -1829,10 +1849,59 @@ class DeltaGraph:
 
         Returns the number of store keys deleted.  Callers that know no
         query is in flight can reclaim retired payloads without waiting for
-        the next seal.
+        the next seal.  Payloads under an active reader pin
+        (:meth:`pin_generation`) are never flushed.
         """
         with self._lock:
             return self._purge_retired()
+
+    # -- reader-generation pins (service leases) -----------------------
+
+    def pin_generation(self) -> int:
+        """Pin the current reader generation; returns the pin token.
+
+        While the pin is held, no payload retired at a generation >= the
+        token is deleted by :meth:`purge_retired` or by the automatic
+        purge that runs at each provisional-top teardown — so a reader
+        that planned queries while the pin was taken can execute them
+        safely however many seals happen meanwhile.  The service layer's
+        session leases (``repro.service``) hold exactly one pin each;
+        release with :meth:`unpin_generation`.
+        """
+        with self._lock:
+            self._ensure_top()
+            record = self._provisional
+            token = (record.generation if record is not None
+                     else self._generation)
+            self._pins[token] = self._pins.get(token, 0) + 1
+            return token
+
+    def unpin_generation(self, token: int) -> None:
+        """Release one pin taken by :meth:`pin_generation`.
+
+        Retired payloads the pin was protecting become purgeable at the
+        next purge (they are not deleted eagerly here — an in-flight purge
+        pass must never race a release).
+        """
+        with self._lock:
+            count = self._pins.get(token)
+            if count is None:
+                raise DeltaGraphIndexError(
+                    f"generation {token} is not pinned")
+            if count == 1:
+                del self._pins[token]
+            else:
+                self._pins[token] = count - 1
+
+    def pinned_generations(self) -> Dict[int, int]:
+        """Active generation pins as ``{generation: refcount}``."""
+        with self._lock:
+            return dict(self._pins)
+
+    def retired_payload_count(self) -> int:
+        """Retired (delta_id) payloads still awaiting purge."""
+        with self._lock:
+            return len(self._retired)
 
     def current_graph(self) -> GraphSnapshot:
         """The up-to-date current graph maintained for ongoing updates."""
@@ -1857,6 +1926,39 @@ class DeltaGraph:
         if inner is not None and callable(getattr(inner, "total_bytes", None)):
             return inner.total_bytes()
         return 0
+
+    def io_stats(self):
+        """I/O counters when the store is instrumented, else ``None``."""
+        from ..storage.instrumented import IOStats
+        stats = getattr(self.store, "stats", None)
+        return stats.snapshot() if isinstance(stats, IOStats) else None
+
+    def stats_report(self) -> Dict:
+        """One aggregated counter report (the unsharded analogue of
+        :meth:`ShardedHistoryIndex.stats_report
+        <repro.sharding.federation.ShardedHistoryIndex.stats_report>`)."""
+        with self._lock:
+            io = self.io_stats()
+            # Total events this index covers: sealed leaf-to-leaf chunks
+            # plus the unsealed recent buffer (matches the federation's
+            # per-shard ``event_count`` semantics of built + appended).
+            indexed = sum(edge.event_count
+                          for edge in self.skeleton.eventlist_edges())
+            report: Dict = {
+                "totals": {
+                    "shards": 1,
+                    "events": indexed + len(self._recent_events),
+                    "ingest": asdict(self.ingest_stats.snapshot()),
+                },
+                "pins": dict(self._pins),
+                "retired_pending": len(self._retired),
+            }
+            if io is not None:
+                report["totals"]["io"] = asdict(io)
+            cache = self.cache_stats()
+            if cache is not None:
+                report["cache"] = asdict(cache)
+            return report
 
     def describe(self) -> str:
         """Human-readable one-line summary of the index."""

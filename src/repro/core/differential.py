@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import zlib
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from ..errors import ConfigurationError
 from .delta import Delta

@@ -45,7 +45,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..errors import EventError
-from .events import Event, EventList, EventType
+from .events import Event, EventType
 
 __all__ = [
     "NODE",

@@ -8,7 +8,7 @@ without regenerating workloads, and so users can bring their own traces.
 from __future__ import annotations
 
 import json
-from typing import Iterable, Iterator
+from typing import Iterable
 
 from ..core.events import Event, EventList, EventType
 

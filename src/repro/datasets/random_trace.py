@@ -23,7 +23,6 @@ from ..core.events import (
     new_edge,
     new_node,
     transient_edge,
-    update_edge_attr,
     update_node_attr,
 )
 from ..core.snapshot import GraphSnapshot

@@ -8,7 +8,7 @@ seconds-per-snapshot figure.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .pregel import PregelEngine, VertexContext, VertexProgram
 

@@ -21,8 +21,7 @@ The framework operates on any object exposing ``adjacency()`` — a
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set
+from typing import Dict, Iterable, List, Set
 
 __all__ = ["VertexContext", "VertexProgram", "PregelEngine"]
 

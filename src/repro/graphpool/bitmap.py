@@ -23,7 +23,7 @@ automatically as more graphs are registered.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional
 
@@ -158,18 +158,28 @@ class BitAllocator:
     # ------------------------------------------------------------------
 
     def release(self, graph_id: int) -> GraphRegistration:
-        """Release a graph's bits (the current graph cannot be released)."""
+        """Drop a graph's registration (the current graph cannot be released).
+
+        The graph's bits are NOT returned to the free lists here: with lazy
+        cleanup they may still be set on pool entries, and handing them to
+        the next registration would make the new graph inherit the released
+        graph's membership (a stale read).  The pool calls :meth:`recycle`
+        once the cleaner has actually cleared the bits.
+        """
         if graph_id == 0:
             raise GraphPoolError("the current graph cannot be released")
         try:
             registration = self._registrations.pop(graph_id)
         except KeyError:
             raise GraphPoolError(f"unknown graph id {graph_id}") from None
+        return registration
+
+    def recycle(self, registration: GraphRegistration) -> None:
+        """Return a released registration's (now cleared) bits for reuse."""
         if registration.kind == GraphKind.HISTORICAL:
             self._free_bit_pairs.append(registration.primary_bit)
         else:
             self._free_single_bits.append(registration.primary_bit)
-        return registration
 
     def get(self, graph_id: int) -> GraphRegistration:
         """Registration for ``graph_id`` (raises for unknown ids)."""

@@ -12,10 +12,9 @@ measured by the paper's "bitmap penalty" experiment (< 7% on PageRank).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.snapshot import EDGE, EDGE_ATTR, NODE, NODE_ATTR, GraphSnapshot
-from ..errors import GraphPoolError
 from .pool import GraphPool
 
 __all__ = ["HistNode", "HistEdge", "HistGraph"]

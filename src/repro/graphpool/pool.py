@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.events import Event, EventType
-from ..core.snapshot import EDGE, ElementKey, GraphSnapshot
+from ..core.snapshot import ElementKey, GraphSnapshot
 from ..errors import GraphPoolError
 from .bitmap import (
     CURRENT_BIT,
@@ -317,7 +317,7 @@ class GraphPool:
         for registration in self._pending_cleanup:
             for bit in registration.bits:
                 mask |= (1 << bit)
-        self._pending_cleanup.clear()
+        cleaned, self._pending_cleanup = self._pending_cleanup, []
         removed = 0
         for entry in list(self._entries):
             remaining = self._entries[entry] & ~mask
@@ -326,6 +326,11 @@ class GraphPool:
             else:
                 del self._entries[entry]
                 removed += 1
+        # Only now are the bits clear everywhere and safe to hand to the
+        # next registration (recycling them at release time let a new graph
+        # inherit a released graph's still-set membership bits).
+        for registration in cleaned:
+            self._allocator.recycle(registration)
         return removed
 
     def pending_cleanup_count(self) -> int:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import List, Set
 
 from ..core.snapshot import (
     COMPONENT_EDGEATTR,

@@ -44,7 +44,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..cache.delta_cache import CacheStats, DeltaCache
 from ..core.deltagraph import DeltaGraph
-from ..core.events import Event, EventList
+from ..core.events import Event
 from ..core.snapshot import GraphSnapshot
 from ..errors import ConfigurationError, QueryError
 from ..graphpool.histgraph import HistGraph
@@ -203,6 +203,38 @@ class HistoryManager:
         """Force-seal buffered recent events into leaves (see DeltaGraph.seal)."""
         return self.index.seal(partial=partial)
 
+    # ------------------------------------------------------------------
+    # reader leases & telemetry (the service layer's hooks)
+    # ------------------------------------------------------------------
+
+    def acquire_read_lease(self):
+        """Pin the current reader generation; returns an opaque token.
+
+        While held, the grace-period retirement machinery keeps every
+        payload the pinned generation's plans may reference —
+        ``purge_retired`` cannot yank them however many seals happen.
+        The served front-end (``repro.service``) takes one lease per
+        client session; in-process callers rarely need this.
+        """
+        return self.index.pin_generation()
+
+    def release_read_lease(self, token) -> None:
+        """Release a lease taken by :meth:`acquire_read_lease`."""
+        self.index.unpin_generation(token)
+
+    def purge_retired(self) -> int:
+        """Flush retired payloads not protected by an active lease."""
+        return self.index.purge_retired()
+
+    def stats_report(self) -> Dict:
+        """Aggregated ``IngestStats``/``IOStats``/cache counter report.
+
+        Shard-agnostic: a sharded index reports per-shard rows plus
+        federation totals, an unsharded index one-shard totals of the
+        same shape.
+        """
+        return self.index.stats_report()
+
 
 class GraphManager:
     """User-facing facade: retrieves snapshots into the GraphPool.
@@ -230,10 +262,10 @@ class GraphManager:
             if (candidate is not None and pool_cache is not None
                     and candidate is not pool_cache):
                 raise ConfigurationError(
-                    f"the GraphPool already has a different delta_cache than "
+                    "the GraphPool already has a different delta_cache than "
                     f"the {origin}; managers sharing a pool must share its "
-                    f"cache (build the index without cache knobs, or attach "
-                    f"this cache to the pool instead)")
+                    "cache (build the index without cache knobs, or attach "
+                    "this cache to the pool instead)")
         # Explicit None checks: an *empty* DeltaCache is falsy (__len__), so
         # `or`-chaining would skip a perfectly good cache that has no
         # entries yet.
@@ -277,6 +309,10 @@ class GraphManager:
     def cache_stats(self) -> Optional[CacheStats]:
         """Hit/miss/eviction counters of the shared cache."""
         return self.history.cache_stats()
+
+    def stats_report(self) -> Dict:
+        """Aggregated counter report (see :meth:`HistoryManager.stats_report`)."""
+        return self.history.stats_report()
 
     # ------------------------------------------------------------------
     # snapshot queries (paper Section 3.2.1)

@@ -49,7 +49,14 @@ class TimeExpression:
 
     @staticmethod
     def _compile(expression: str, arity: int) -> Callable[..., bool]:
+        # Normalise surrounding whitespace first: ``compile(..., "eval")``
+        # treats a leading blank as an indent and tabs inside the text are
+        # fine, but the *token* reconstruction below must see exactly the
+        # same characters either way.
+        expression = expression.strip()
         tokens = re.findall(r"t\d+|and|or|not|\(|\)", expression)
+        if not tokens:
+            raise QueryError("TimeExpression string has no tokens")
         reconstructed = "".join(re.sub(r"\s+", "", t) for t in tokens)
         if reconstructed != re.sub(r"\s+", "", expression):
             raise QueryError(f"invalid TimeExpression syntax: {expression!r}")
@@ -61,7 +68,15 @@ class TimeExpression:
                 if not 1 <= index <= arity:
                     raise QueryError(
                         f"{token} out of range; expression has {arity} timepoints")
-        code = compile(expression, "<TimeExpression>", "eval")
+        try:
+            code = compile(expression, "<TimeExpression>", "eval")
+        except SyntaxError as exc:
+            # Token-valid but structurally malformed, e.g. "t1 t2" or
+            # "and t1" — surface the library's error type, not a bare
+            # SyntaxError from ``compile``.
+            raise QueryError(
+                f"invalid TimeExpression syntax: {expression!r} ({exc.msg})"
+            ) from None
 
         def evaluate(*memberships: bool) -> bool:
             names = {f"t{i + 1}": bool(m) for i, m in enumerate(memberships)}

@@ -1,0 +1,14 @@
+"""``python -m repro.service`` — boot a demo query service.
+
+Builds a small random-trace index and serves it until interrupted,
+printing ``SERVING <host> <port>`` once accepting (the line
+``examples/serving.py`` and the CI integration job parse).  See
+:func:`repro.service.server._main` for the flags.
+"""
+
+import sys
+
+from .server import _main
+
+if __name__ == "__main__":
+    sys.exit(_main())

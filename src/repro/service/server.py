@@ -1,0 +1,483 @@
+"""The asyncio TCP server fronting a history index.
+
+Architecture (DESIGN.md §11)::
+
+    client sockets ──▶ read loops ──▶ per-session FIFO backlogs
+                                          │ admission control
+                                          ▼
+                                     dispatcher (round-robin)
+                                          │
+                            ┌─────────────┴─────────────┐
+                        read ops                    write ops
+                   (thread pool, shared          (single serialized
+                    generation-pinned reads)       ingest path)
+
+* **Sessions & leases** — every accepted connection becomes a
+  :class:`~repro.service.session.Session` holding a generation-pinning
+  lease; requests refresh it, silence past the TTL lets the periodic sweep
+  reclaim it, and a clean disconnect releases it immediately.  While a
+  lease is live, ``purge_retired`` cannot delete payloads the pinned
+  generation references.
+* **Admission control** — the read loop rejects a request with a typed
+  :class:`~repro.service.protocol.AdmissionRejected` response the moment
+  accepting it would exceed ``max_queued`` outstanding requests
+  server-wide; clients get the rejection immediately instead of queueing
+  behind work the server has no capacity for.
+* **Fairness** — the dispatcher repeatedly picks the *idle* session (no
+  request of its own in flight) whose head-of-queue request arrived
+  earliest: round-robin across sessions, oldest first within one.  One
+  in-flight request per session preserves each client's program order —
+  which is what makes read-your-writes structural rather than best-effort:
+  a session's read can only be dispatched after its preceding ingest
+  response was produced, and ingest responses are only produced after the
+  index accepted the events.
+* **Reads vs writes** — read-only batches run in a thread pool (the index
+  serializes plan construction internally and payload fetches proceed in
+  parallel); any batch containing an :class:`IngestOp`/:class:`SealOp`
+  additionally holds the server-wide ingest lock, making the write path
+  single-file without stalling readers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import threading
+import time as _time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.deltagraph import DeltaGraph
+from ..query.managers import GraphManager, HistoryManager
+from .protocol import (
+    AdmissionRejected,
+    CountResult,
+    ErrorResult,
+    GetIntervalOp,
+    GetSnapshotOp,
+    GetSnapshotsOp,
+    IngestOp,
+    Operation,
+    PingOp,
+    PongResult,
+    ProtocolError,
+    Result,
+    ScanOp,
+    SealOp,
+    SnapshotResult,
+    SnapshotsResult,
+    StatsOp,
+    StatsResult,
+    decode_request,
+    encode_frame,
+    encode_rejection,
+    encode_response,
+    encode_snapshot,
+    error_code_for,
+    frame_length,
+)
+from .session import LeaseTable, Session
+
+__all__ = ["ServiceServer"]
+
+
+class ServiceServer:
+    """Serve a history index to concurrent clients over TCP.
+
+    ``manager`` is a :class:`~repro.query.managers.HistoryManager`, a
+    :class:`~repro.query.managers.GraphManager` (its history manager is
+    used; ingest goes through the pool-aware facade), or a bare
+    :class:`~repro.core.deltagraph.DeltaGraph`.
+
+    ``max_queued`` caps outstanding requests server-wide (in flight +
+    backlogged); ``read_workers`` sizes the thread pool executing read
+    batches; ``lease_ttl``/``sweep_interval`` govern reclaiming leases of
+    silent clients.  Use :meth:`serve` on an event loop of your own, or
+    :meth:`start_in_background` / :meth:`stop` for a self-contained
+    thread (what the tests and ``examples/serving.py`` do).
+    """
+
+    def __init__(self, manager: Union[HistoryManager, GraphManager, DeltaGraph],
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_queued: int = 64, read_workers: int = 4,
+                 lease_ttl: float = 30.0, sweep_interval: float = 1.0) -> None:
+        if isinstance(manager, GraphManager):
+            self.history = manager.history
+            self._ingest_target = manager
+        elif isinstance(manager, HistoryManager):
+            self.history = manager
+            self._ingest_target = manager
+        else:
+            self.history = HistoryManager(manager)
+            self._ingest_target = self.history
+        if max_queued < 1:
+            raise ProtocolError(f"max_queued must be >= 1, got {max_queued}")
+        self.host = host
+        self.port = port
+        self.max_queued = max_queued
+        self.lease_table = LeaseTable(self.history.acquire_read_lease,
+                                      self.history.release_read_lease,
+                                      ttl=lease_ttl)
+        self._sweep_interval = sweep_interval
+        self._read_pool = ThreadPoolExecutor(
+            max_workers=read_workers, thread_name_prefix="svc-read")
+        self._ingest_lock: Optional[asyncio.Lock] = None
+        self._dispatch_wakeup: Optional[asyncio.Event] = None
+        self._dispatch_paused = False
+        self._sessions: Dict[int, Session] = {}
+        self._next_session_id = 1
+        self._arrival_seq = 0
+        self._outstanding = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._stopping: Optional[asyncio.Event] = None
+        self.started_at: Optional[float] = None
+        # Service-level counters (event-loop thread only).
+        self.requests_accepted = 0
+        self.requests_rejected = 0
+        self.requests_completed = 0
+        self.ops_executed = 0
+        self.sessions_opened = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def serve(self) -> None:
+        """Run the server on the current event loop until :meth:`stop`."""
+        self._loop = asyncio.get_running_loop()
+        self._ingest_lock = asyncio.Lock()
+        self._dispatch_wakeup = asyncio.Event()
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = _time.time()
+        dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        sweeper = asyncio.ensure_future(self._sweep_loop())
+        self._started.set()
+        try:
+            await self._stopping.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            for task in (dispatcher, sweeper):
+                task.cancel()
+            await asyncio.gather(dispatcher, sweeper, return_exceptions=True)
+            for session in list(self._sessions.values()):
+                self._close_session(session)
+
+    def start_in_background(self) -> Tuple[str, int]:
+        """Boot the server on a daemon thread; returns ``(host, port)``."""
+        if self._thread is not None:
+            raise ProtocolError("server already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self.serve()),
+            name="svc-server", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10):
+            raise ProtocolError("server failed to start within 10s")
+        return self.host, self.port
+
+    def stop(self) -> None:
+        """Shut down; safe to call from any thread."""
+        loop, stopping = self._loop, self._stopping
+        if loop is None or stopping is None:
+            return
+        loop.call_soon_threadsafe(stopping.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._read_pool.shutdown(wait=False)
+
+    # test hooks ---------------------------------------------------------
+
+    def pause_dispatch(self) -> None:
+        """Stop dispatching queued requests (admission tests); blocks until
+        the event loop applied the flag, so requests sent afterwards are
+        guaranteed to queue rather than execute."""
+        self._set_paused_threadsafe(True)
+
+    def resume_dispatch(self) -> None:
+        """Resume dispatching after :meth:`pause_dispatch`."""
+        self._set_paused_threadsafe(False)
+
+    def _set_paused(self, paused: bool) -> None:
+        self._dispatch_paused = paused
+        if not paused and self._dispatch_wakeup is not None:
+            self._dispatch_wakeup.set()
+
+    def _set_paused_threadsafe(self, paused: bool) -> None:
+        loop = self._loop
+        if loop is None:
+            self._set_paused(paused)
+            return
+        applied = threading.Event()
+
+        def apply() -> None:
+            self._set_paused(paused)
+            applied.set()
+
+        loop.call_soon_threadsafe(apply)
+        if not applied.wait(timeout=10):
+            raise ProtocolError("event loop did not apply the dispatch flag")
+
+    # ------------------------------------------------------------------
+    # connections & admission
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peername = writer.get_extra_info("peername")
+        session = Session(
+            session_id=self._next_session_id,
+            lease=self.lease_table.acquire(),
+            peer=f"{peername[0]}:{peername[1]}" if peername else "?")
+        self._next_session_id += 1
+        self._sessions[session.session_id] = session
+        self.sessions_opened += 1
+        session.writer = writer
+        try:
+            while True:
+                try:
+                    prefix = await reader.readexactly(4)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                body = await reader.readexactly(frame_length(prefix))
+                request_id, ops = decode_request(body)
+                self.lease_table.refresh(session.lease)
+                if self._outstanding >= self.max_queued:
+                    session.rejected += 1
+                    self.requests_rejected += 1
+                    writer.write(encode_frame(encode_rejection(
+                        request_id, AdmissionRejected.code,
+                        f"server at capacity ({self.max_queued} requests "
+                        "outstanding); retry later")))
+                    await writer.drain()
+                    continue
+                self._outstanding += 1
+                self.requests_accepted += 1
+                self._arrival_seq += 1
+                session.backlog.append((self._arrival_seq, request_id, ops))
+                self._dispatch_wakeup.set()
+        except ProtocolError as exc:
+            # A desynced peer: answer once if possible, then hang up.
+            try:
+                writer.write(encode_frame(encode_rejection(
+                    0, ProtocolError.code, str(exc))))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            session.closed = True
+            if not session.busy and not session.backlog:
+                self._close_session(session)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _close_session(self, session: Session) -> None:
+        self._outstanding -= len(session.backlog)
+        session.backlog.clear()
+        self._sessions.pop(session.session_id, None)
+        self.lease_table.release(session.lease)
+
+    # ------------------------------------------------------------------
+    # dispatch (fairness)
+    # ------------------------------------------------------------------
+
+    def _pick_session(self) -> Optional[Session]:
+        """The idle session with the earliest-arrived head request.
+
+        Because each session dispatches at most one request at a time, the
+        repeated "earliest head" choice degenerates to round-robin when
+        every client keeps a request queued, while a session that batches
+        many requests cannot starve the others.
+        """
+        best: Optional[Session] = None
+        best_arrival: Optional[int] = None
+        for session in self._sessions.values():
+            arrival = session.oldest_arrival()
+            if arrival is None:
+                continue
+            if best_arrival is None or arrival < best_arrival:
+                best, best_arrival = session, arrival
+        return best
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            self._dispatch_wakeup.clear()
+            if not self._dispatch_paused:
+                while True:
+                    session = self._pick_session()
+                    if session is None:
+                        break
+                    _arrival, request_id, ops = session.backlog.popleft()
+                    session.busy = True
+                    asyncio.ensure_future(
+                        self._run_request(session, request_id, ops))
+            await self._dispatch_wakeup.wait()
+
+    async def _run_request(self, session: Session, request_id: int,
+                           ops: List[Operation]) -> None:
+        try:
+            writes = any(isinstance(op, (IngestOp, SealOp)) for op in ops)
+            if writes:
+                async with self._ingest_lock:
+                    results = await self._execute(ops)
+            else:
+                results = await self._execute(ops)
+            session.requests += 1
+            session.ops += len(ops)
+            self.requests_completed += 1
+            self.ops_executed += len(ops)
+            writer = session.writer
+            try:
+                writer.write(encode_frame(encode_response(request_id, results)))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; results are simply dropped
+        finally:
+            session.busy = False
+            self._outstanding -= 1
+            if session.closed and not session.backlog:
+                self._close_session(session)
+            self._dispatch_wakeup.set()
+
+    async def _execute(self, ops: List[Operation]) -> List[Result]:
+        loop = asyncio.get_running_loop()
+        results: List[Result] = []
+        for op in ops:
+            if isinstance(op, (IngestOp, SealOp)):
+                # Writes run inline under the ingest lock — the single
+                # serialized write path.  append_batch itself takes the
+                # index lock, so a concurrent pooled read never sees a
+                # half-applied batch.
+                try:
+                    results.append(self._execute_write(op))
+                except Exception as exc:  # noqa: BLE001 - relayed to client
+                    results.append(ErrorResult(error_code_for(exc), str(exc)))
+            else:
+                try:
+                    results.append(await loop.run_in_executor(
+                        self._read_pool, self._execute_read, op))
+                except Exception as exc:  # noqa: BLE001 - relayed to client
+                    results.append(ErrorResult(error_code_for(exc), str(exc)))
+        return results
+
+    def _execute_write(self, op: Operation) -> Result:
+        if isinstance(op, IngestOp):
+            return CountResult(self._ingest_target.ingest(list(op.events)))
+        assert isinstance(op, SealOp)
+        return CountResult(self.history.seal(partial=op.partial))
+
+    def _execute_read(self, op: Operation) -> Result:
+        from ..query.attr_options import parse_attr_options
+        if isinstance(op, PingOp):
+            return PongResult()
+        if isinstance(op, GetSnapshotOp):
+            snapshot = self.history.retrieve(
+                op.time, parse_attr_options(op.attr_options))
+            return SnapshotResult(op.time, encode_snapshot(snapshot))
+        if isinstance(op, GetSnapshotsOp):
+            snapshots = self.history.retrieve_many(
+                list(op.times), parse_attr_options(op.attr_options))
+            return SnapshotsResult(tuple(
+                (time, encode_snapshot(snapshot))
+                for time, snapshot in zip(op.times, snapshots)))
+        if isinstance(op, GetIntervalOp):
+            snapshot = self.history.retrieve_interval(
+                op.start, op.end, parse_attr_options(op.attr_options))
+            return SnapshotsResult(((op.end, encode_snapshot(snapshot)),))
+        if isinstance(op, ScanOp):
+            steps = []
+            for step in self.history.scan(list(op.times)):
+                steps.append((step.time, encode_snapshot(step.snapshot())))
+            return SnapshotsResult(tuple(steps))
+        if isinstance(op, StatsOp):
+            return StatsResult(self.stats_report())
+        raise ProtocolError(f"unexecutable operation {op!r}")
+
+    # ------------------------------------------------------------------
+    # lease sweeping & telemetry
+    # ------------------------------------------------------------------
+
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._sweep_interval)
+            if self.lease_table.sweep():
+                # Leases lapsed: retired payloads they pinned are now
+                # reclaimable.
+                await asyncio.get_running_loop().run_in_executor(
+                    self._read_pool, self.history.purge_retired)
+
+    def stats_report(self) -> Dict:
+        """The index's counter report extended with service-level rows."""
+        report = self.history.stats_report()
+        report["service"] = {
+            "sessions_open": len(self._sessions),
+            "sessions_opened": self.sessions_opened,
+            "requests_accepted": self.requests_accepted,
+            "requests_rejected": self.requests_rejected,
+            "requests_completed": self.requests_completed,
+            "ops_executed": self.ops_executed,
+            "outstanding": self._outstanding,
+            "max_queued": self.max_queued,
+            "leases": {
+                "active": self.lease_table.active_count(),
+                "acquired": self.lease_table.acquired,
+                "released": self.lease_table.released,
+                "expired": self.lease_table.expired,
+                "rows": self.lease_table.rows(),
+            },
+        }
+        return report
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.service`` — boot a server over a demo trace.
+
+    Prints ``SERVING <host> <port>`` once accepting, which is what
+    ``examples/serving.py`` and the CI integration job parse.
+    """
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--events", type=int, default=600,
+                        help="synthetic trace length for the demo index")
+    parser.add_argument("--leaf-size", type=int, default=50)
+    parser.add_argument("--max-queued", type=int, default=64)
+    parser.add_argument("--lease-ttl", type=float, default=30.0)
+    args = parser.parse_args(argv)
+
+    from ..datasets.random_trace import (
+        RandomTraceConfig,
+        generate_random_trace,
+        generate_starting_snapshot,
+    )
+    base, base_events = generate_starting_snapshot(30, 60, seed=11)
+    churn = generate_random_trace(base, RandomTraceConfig(
+        num_events=args.events, start_time=base.time + 1, seed=12))
+    manager = HistoryManager.build_index(
+        list(base_events) + list(churn),
+        leaf_eventlist_size=args.leaf_size, arity=4)
+    server = ServiceServer(manager, host=args.host, port=args.port,
+                           max_queued=args.max_queued,
+                           lease_ttl=args.lease_ttl)
+    server.start_in_background()
+    print(f"SERVING {server.host} {server.port}", flush=True)
+    try:
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main())

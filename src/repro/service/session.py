@@ -1,0 +1,171 @@
+"""Client sessions and generation-pinning reader leases.
+
+Every connection the server accepts becomes a :class:`Session`.  A session
+holds one :class:`Lease` — a TTL-guarded wrapper around the index's
+generation pin (:meth:`repro.core.deltagraph.DeltaGraph.pin_generation`).
+While the lease is live, grace-period retirement keeps every payload the
+pinned generation's query plans may reference: ``purge_retired`` computes
+its floor from the active pins, so a reader mid-plan can never have bytes
+deleted underneath it, however many seals the writer path performs.
+
+Leases are *renewed on activity* (each request refreshes the deadline) and
+*reaped on silence*: :meth:`LeaseTable.sweep` releases pins whose deadline
+passed, after which the next purge reclaims the retired payloads they were
+protecting.  The table takes an injectable ``clock`` so expiry is testable
+without real waiting, and it is thread-safe — the server refreshes from the
+event loop while tests sweep from other threads.
+
+The session object also carries the per-connection request queue and the
+fairness bookkeeping the dispatcher uses (FIFO within a session, round-
+robin across sessions); see :mod:`repro.service.server`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .protocol import Operation, ServiceError
+
+__all__ = ["Lease", "LeaseTable", "Session"]
+
+
+@dataclass
+class Lease:
+    """One session's hold on a reader generation.
+
+    ``token`` is the opaque pin token returned by the index (an ``int`` for
+    a single DeltaGraph, a tuple of per-shard tokens for a federation);
+    ``deadline`` is the clock reading past which :meth:`LeaseTable.sweep`
+    may reclaim it.
+    """
+
+    lease_id: int
+    token: object
+    deadline: float
+    released: bool = False
+
+
+class LeaseTable:
+    """Tracks reader leases over one history index.
+
+    ``release_pin`` / ``acquire_pin`` are the index hooks (normally
+    :meth:`HistoryManager.acquire_read_lease
+    <repro.query.managers.HistoryManager.acquire_read_lease>` and its
+    inverse); ``ttl`` is the idle interval after which an unrefreshed lease
+    is reclaimable; ``clock`` defaults to :func:`time.monotonic`.
+    """
+
+    def __init__(self, acquire_pin: Callable[[], object],
+                 release_pin: Callable[[object], None],
+                 ttl: float = 30.0,
+                 clock: Callable[[], float] = _time.monotonic) -> None:
+        if ttl <= 0:
+            raise ServiceError(f"lease ttl must be positive, got {ttl}")
+        self._acquire_pin = acquire_pin
+        self._release_pin = release_pin
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._leases: Dict[int, Lease] = {}
+        self._ids = itertools.count(1)
+        self.acquired = 0
+        self.released = 0
+        self.expired = 0
+
+    def acquire(self) -> Lease:
+        """Pin the current reader generation under a fresh lease."""
+        token = self._acquire_pin()
+        with self._lock:
+            lease = Lease(lease_id=next(self._ids), token=token,
+                          deadline=self._clock() + self.ttl)
+            self._leases[lease.lease_id] = lease
+            self.acquired += 1
+            return lease
+
+    def refresh(self, lease: Lease) -> None:
+        """Push the lease's deadline out by one TTL (called per request)."""
+        with self._lock:
+            if not lease.released:
+                lease.deadline = self._clock() + self.ttl
+
+    def release(self, lease: Lease) -> None:
+        """Explicitly drop a lease (connection closed); idempotent."""
+        with self._lock:
+            if lease.released:
+                return
+            lease.released = True
+            del self._leases[lease.lease_id]
+            self.released += 1
+        self._release_pin(lease.token)
+
+    def sweep(self) -> int:
+        """Release every lease whose deadline has passed.
+
+        Returns the number reclaimed.  The unpin itself happens outside the
+        table lock — index locking is the pin hook's business.
+        """
+        now = self._clock()
+        with self._lock:
+            stale = [lease for lease in self._leases.values()
+                     if lease.deadline <= now]
+            for lease in stale:
+                lease.released = True
+                del self._leases[lease.lease_id]
+            self.expired += len(stale)
+        for lease in stale:
+            self._release_pin(lease.token)
+        return len(stale)
+
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._leases)
+
+    def rows(self) -> List[Dict]:
+        """Telemetry rows for ``stats_report()``."""
+        now = self._clock()
+        with self._lock:
+            return [{"lease_id": lease.lease_id,
+                     "expires_in": round(lease.deadline - now, 3)}
+                    for lease in sorted(self._leases.values(),
+                                        key=lambda lease: lease.lease_id)]
+
+
+@dataclass
+class Session:
+    """One connected client: its lease, queue, and fairness bookkeeping.
+
+    The dispatcher holds the invariant that at most one request per session
+    is in flight at a time (``busy``); together with the FIFO ``backlog``
+    this gives each session program order — and therefore read-your-writes,
+    since an ingest response is only sent after the index accepted the
+    events.  ``arrival`` tags queued requests with a global sequence number
+    so "oldest first within a session" is well defined even across
+    batches.
+    """
+
+    session_id: int
+    lease: Lease
+    peer: str = "?"
+    #: FIFO of (arrival_seq, request_id, ops) not yet dispatched.
+    backlog: Deque[Tuple[int, int, List[Operation]]] = field(
+        default_factory=deque)
+    #: The connection's ``asyncio.StreamWriter`` (set by the server).
+    writer: object = None
+    #: True while one of this session's requests is executing.
+    busy: bool = False
+    #: Running totals for the stats report.
+    requests: int = 0
+    ops: int = 0
+    rejected: int = 0
+    closed: bool = False
+
+    def oldest_arrival(self) -> Optional[int]:
+        """Arrival sequence of the next dispatchable request (None if idle)."""
+        if self.busy or not self.backlog:
+            return None
+        return self.backlog[0][0]

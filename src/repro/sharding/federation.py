@@ -147,7 +147,7 @@ class ShardedHistoryIndex:
             if knob in index_kwargs:
                 raise ConfigurationError(
                     f"{knob!r} is managed per shard; pass the sharded "
-                    f"builder's own parameters instead")
+                    "builder's own parameters instead")
         if build_workers is not None and build_workers < 1:
             raise ConfigurationError("build_workers must be >= 1")
         if cache is None and cache_max_bytes > 0:
@@ -272,7 +272,7 @@ class ShardedHistoryIndex:
             if 0 <= position < len(self._shards):
                 return self._shards[position], rest
         raise DeltaGraphIndexError(
-            f"sharded node ids are shard-qualified, e.g. 'era0/leaf:3' "
+            "sharded node ids are shard-qualified, e.g. 'era0/leaf:3' "
             f"(got {node_id!r})")
 
     def node_time(self, node_id: str) -> Optional[int]:
@@ -492,10 +492,33 @@ class ShardedHistoryIndex:
             return self._shards[-1].index.seal(partial=partial)
 
     def purge_retired(self) -> int:
-        """Flush every shard's read-during-ingest grace period now."""
+        """Flush every shard's read-during-ingest grace period now.
+
+        Payloads covered by an active reader pin
+        (:meth:`pin_generation`) are kept, exactly as on a single
+        :class:`~repro.core.deltagraph.DeltaGraph`.
+        """
         with self._lock:
             return sum(shard.index.purge_retired()
                        for shard in self._shards)
+
+    def pin_generation(self) -> Tuple[int, ...]:
+        """Pin the reader generation of every era shard.
+
+        Returns an opaque token (one pin per shard in shard order) for
+        :meth:`unpin_generation`.  Shards opened by rollovers *after* the
+        pin was taken are not covered — a pinned reader's plans predate
+        them, so they have nothing the reader could reference.
+        """
+        with self._lock:
+            return tuple(shard.index.pin_generation()
+                         for shard in self._shards)
+
+    def unpin_generation(self, token: Tuple[int, ...]) -> None:
+        """Release the per-shard pins taken by :meth:`pin_generation`."""
+        with self._lock:
+            for shard, pin in zip(self._shards, token):
+                shard.index.unpin_generation(pin)
 
     def current_graph(self) -> GraphSnapshot:
         """The up-to-date current graph (owned by the live tail)."""
@@ -559,6 +582,8 @@ class ShardedHistoryIndex:
                 "namespace": shard.namespace,
                 "ingest": asdict(shard.index.ingest_stats.snapshot()),
                 "io": asdict(io) if io is not None else None,
+                "pins": shard.index.pinned_generations(),
+                "retired_pending": shard.index.retired_payload_count(),
             })
         totals = {
             "shards": len(self._shards),

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pickle
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from .kvstore import KVStore, StorageKey

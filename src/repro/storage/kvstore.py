@@ -33,7 +33,7 @@ Values are arbitrary picklable objects; each backend chooses serialization
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 from ..errors import KeyNotFoundError
 

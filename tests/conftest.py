@@ -8,6 +8,15 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.events import EventList
+from repro.core.snapshot import GraphSnapshot
+from repro.datasets.coauthorship import CoauthorshipConfig, generate_coauthorship_trace
+from repro.datasets.random_trace import (
+    RandomTraceConfig,
+    generate_random_trace,
+    generate_starting_snapshot,
+)
+
 try:
     from hypothesis import settings
 except ImportError:  # pragma: no cover - hypothesis is a test-only dep
@@ -19,15 +28,6 @@ else:
     # @settings decorators still override the fields they set.
     settings.register_profile("repro-fixed", deadline=None, derandomize=True)
     settings.load_profile("repro-fixed")
-
-from repro.core.events import EventList
-from repro.core.snapshot import GraphSnapshot
-from repro.datasets.coauthorship import CoauthorshipConfig, generate_coauthorship_trace
-from repro.datasets.random_trace import (
-    RandomTraceConfig,
-    generate_random_trace,
-    generate_starting_snapshot,
-)
 
 
 @pytest.fixture(scope="session")

@@ -16,7 +16,7 @@ from repro.core.differential import (
     UnionFunction,
     get_differential_function,
 )
-from repro.core.events import new_edge, new_node, update_node_attr
+from repro.core.events import new_edge, new_node
 from repro.core.snapshot import COMPONENT_NODEATTR, COMPONENT_STRUCT, GraphSnapshot
 from repro.errors import ConfigurationError
 

@@ -9,7 +9,6 @@ from repro.core.events import (
     EventList,
     EventType,
     delete_edge,
-    delete_node,
     new_edge,
     new_node,
     transient_edge,

@@ -7,7 +7,7 @@ import pytest
 from repro.core.events import delete_edge, new_edge, new_node, update_node_attr
 from repro.core.snapshot import GraphSnapshot
 from repro.errors import GraphPoolError
-from repro.graphpool.bitmap import BitAllocator, GraphKind
+from repro.graphpool.bitmap import BitAllocator
 from repro.graphpool.histgraph import HistGraph
 from repro.graphpool.pool import GraphPool
 
@@ -52,10 +52,16 @@ class TestBitAllocator:
         # the pair stays aligned to an even bit even after a single-bit grab
         assert hist.primary_bit % 2 == 0
 
-    def test_release_recycles_bits(self):
+    def test_release_does_not_recycle_until_cleanup(self):
+        # Released bits may still be set on pool entries (lazy cleanup), so
+        # the allocator must not reuse them until the pool recycles the
+        # registration after actually clearing the bits.
         allocator = BitAllocator()
         hist = allocator.register_historical()
-        allocator.release(hist.graph_id)
+        registration = allocator.release(hist.graph_id)
+        fresh = allocator.register_historical()
+        assert fresh.primary_bit != hist.primary_bit
+        allocator.recycle(registration)
         again = allocator.register_historical()
         assert again.primary_bit == hist.primary_bit
 
@@ -142,6 +148,21 @@ class TestGraphPoolMembership:
         removed = pool.cleanup()
         assert removed == before
         assert pool.union_entry_count() == 0
+
+    def test_released_bits_do_not_leak_into_next_registration(self):
+        # Regression: bits were recycled at release time, before the lazy
+        # cleaner cleared them, so the next registered graph inherited the
+        # released graph's entire membership.
+        pool = GraphPool()
+        first = pool.add_historical(snapshot_one(), time=2,
+                                    auto_dependency=False)
+        pool.release(first.graph_id)      # lazy: bits still set in the pool
+        second = pool.add_historical(GraphSnapshot.from_events(
+            [new_node(5, 9)], time=5), time=5, auto_dependency=False)
+        elements = dict(pool.graph_elements(second.graph_id))
+        assert set(elements) == {("N", 9)}
+        pool.cleanup()
+        assert dict(pool.graph_elements(second.graph_id)) == elements
 
     def test_release_with_dependents_forbidden(self):
         pool = GraphPool()

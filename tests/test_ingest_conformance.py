@@ -157,7 +157,7 @@ def assert_bounded_append_cost(index: DeltaGraph) -> None:
     assert stats.store_keys_written <= stats.leaves_sealed * per_seal_budget, (
         f"append wrote {stats.store_keys_written} keys for "
         f"{stats.leaves_sealed} seals (budget {per_seal_budget}/seal) — "
-        f"that smells like an O(index) rewrite")
+        "that smells like an O(index) rewrite")
 
 
 # ---------------------------------------------------------------------------
@@ -448,7 +448,8 @@ class TestStaleReads:
         assert not index._retired, "retirement is deferred to the next plan"
         index.get_snapshot(events[split].time)  # plan -> rebuild + retire
         assert index._retired, "the rebuild must retire generation 0"
-        retired_keys = [key for _id, keys in index._retired for key in keys]
+        retired_keys = [key for _gen, _id, keys in index._retired
+                        for key in keys]
         assert all(index.store.contains(key) for key in retired_keys), \
             "grace period: retired keys must survive one generation"
         index.append_batch(suffix[60:120])  # seals again

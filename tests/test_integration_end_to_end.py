@@ -17,7 +17,6 @@ from repro.errors import ConfigurationError
 from repro.query.managers import GraphManager
 from repro.storage.disk_store import DiskKVStore
 from repro.storage.instrumented import InstrumentedKVStore
-from repro.storage.memory_store import InMemoryKVStore
 
 
 def sample_times(events, count=5):
@@ -126,7 +125,8 @@ class TestSkeletonIntrospection:
         skeleton = index.skeleton
         assert skeleton.super_root.id == SUPER_ROOT_ID
         leaves = skeleton.leaves()
-        assert [l.index for l in leaves] == sorted(l.index for l in leaves)
+        assert [leaf.index for leaf in leaves] == sorted(
+            leaf.index for leaf in leaves)
         assert skeleton.nodes_at_level(1) == leaves
         assert all(n.level >= 2 for n in skeleton.interior_nodes())
         assert skeleton.height() >= 3

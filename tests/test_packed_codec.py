@@ -16,7 +16,6 @@ from hypothesis import HealthCheck, given, settings
 
 from repro.core.delta import Delta
 from repro.core.events import (
-    Event,
     delete_edge,
     delete_node,
     new_edge,

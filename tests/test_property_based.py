@@ -29,7 +29,6 @@ from repro.core.differential import (
     UnionFunction,
 )
 from repro.core.events import (
-    Event,
     EventList,
     delete_edge,
     delete_node,

@@ -4,8 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.deltagraph import DeltaGraph
-from repro.core.events import EventList, new_edge, new_node, transient_edge
+from repro.core.events import EventList, new_edge, new_node
 from repro.core.snapshot import COMPONENT_NODEATTR, COMPONENT_STRUCT
 from repro.errors import QueryError
 from repro.query.attr_options import parse_attr_options

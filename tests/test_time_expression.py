@@ -1,0 +1,114 @@
+"""Edge cases of ``TimeExpression`` and interval-boundary semantics.
+
+Complements the happy paths in ``test_query_layer.py``: degenerate
+expressions (single timepoint, duplicated timepoints, deep parentheses),
+syntax-smuggling rejections, and — through the manager facade — the
+boundary behaviour of ``GetHistGraphInterval``: the interval is
+``[start, end)``, so an event stamped exactly at ``end`` is excluded, an
+event exactly at ``start`` is included, and ``start == end`` is the empty
+interval (empty result, not an error).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import new_edge, new_node, transient_edge
+from repro.errors import QueryError
+from repro.query.managers import GraphManager
+from repro.query.time_expression import TimeExpression
+
+
+class TestExpressionEdgeCases:
+    def test_single_timepoint_identity_and_negation(self):
+        assert TimeExpression([5], "t1").evaluate([True])
+        assert not TimeExpression([5], "not t1").evaluate([True])
+        assert TimeExpression([5], "not t1").evaluate([False])
+
+    def test_duplicate_timepoints_are_independent_variables(self):
+        # The same wall-clock time may appear twice; t1/t2 still bind to
+        # positions, so "t1 and not t2" over [t, t] is satisfiable only by
+        # an inconsistent membership vector — which callers may pass when
+        # the snapshots differ by attr filtering.
+        expr = TimeExpression([30, 30], "t1 and not t2")
+        assert expr.evaluate([True, False])
+        assert not expr.evaluate([True, True])
+
+    def test_deeply_nested_parentheses(self):
+        expr = TimeExpression([1, 2, 3], "(((t1)) and ((t2 or (not t3))))")
+        assert expr.evaluate([True, False, False])
+        assert not expr.evaluate([False, True, True])
+
+    def test_whitespace_is_insignificant(self):
+        expr = TimeExpression([1, 2], "  t1   and\tnot   t2 ")
+        assert expr.evaluate([True, False])
+
+    def test_t0_and_high_indices_rejected(self):
+        with pytest.raises(QueryError, match="out of range"):
+            TimeExpression([1, 2], "t0 or t1")
+        with pytest.raises(QueryError, match="out of range"):
+            TimeExpression([1, 2], "t3")
+
+    def test_smuggled_syntax_rejected(self):
+        for bad in ("t1 + t2", "t1 if t2 else t1", "t1; import os",
+                    "[t1]", "t1 == t2", "lambda: t1", "t1 and x"):
+            with pytest.raises(QueryError):
+                TimeExpression([1, 2], bad)
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(QueryError):
+            TimeExpression([1], "")
+
+    def test_callable_arity_mismatch_surfaces(self):
+        expr = TimeExpression([1, 2, 3], lambda a, b, c: a and b and c)
+        with pytest.raises(QueryError):
+            expr.evaluate([True, True])        # declared 3, passed 2
+
+    def test_membership_values_are_coerced_to_bool(self):
+        expr = TimeExpression([1, 2], "t1 and not t2")
+        # Truthy/falsy stand-ins behave like booleans.
+        assert expr.evaluate([1, 0]) is True
+        assert expr.evaluate([1, 7]) is False
+
+
+@pytest.fixture(scope="module")
+def boundary_manager() -> GraphManager:
+    """Nodes created at t=10,20,30 with a transient interaction at t=20."""
+    events = [
+        new_node(10, 1),
+        new_node(20, 2),
+        transient_edge(20, 900, 1, 2),
+        new_edge(25, 50, 1, 2),
+        new_node(30, 3),
+    ]
+    return GraphManager.load(events, leaf_eventlist_size=2, arity=2)
+
+
+class TestIntervalBoundaries:
+    def element_keys(self, manager, start, end):
+        view = manager.get_hist_graph_interval(start, end)
+        keys = set(view.to_snapshot().element_map())
+        manager.release(view)
+        return keys
+
+    def test_interval_is_half_open(self, boundary_manager):
+        keys = self.element_keys(boundary_manager, 10, 30)
+        assert ("N", 1) in keys       # point == start boundary: included
+        assert ("N", 2) in keys
+        assert ("E", 50) in keys
+        assert ("N", 3) not in keys   # point == end boundary: excluded
+
+    def test_point_equal_to_both_boundaries(self, boundary_manager):
+        # [20, 21) isolates exactly the t=20 additions, including the
+        # transient event that never survives into any snapshot.
+        keys = self.element_keys(boundary_manager, 20, 21)
+        assert ("N", 2) in keys
+        assert ("E", 900) in keys     # the transient interaction
+        assert ("N", 1) not in keys
+        assert ("E", 50) not in keys
+
+    def test_empty_interval_start_equals_end(self, boundary_manager):
+        # The degenerate interval [t, t) selects nothing — an empty graph,
+        # not an error, even when events exist exactly at t.
+        assert self.element_keys(boundary_manager, 20, 20) == set()
+        assert self.element_keys(boundary_manager, 11, 11) == set()
