@@ -1,0 +1,175 @@
+"""Scale characteristics of the era-shard worker pool, in op counts.
+
+The worker-mode claims mirror the in-process sharding benchmarks
+(``test_sharding_scale.py``) and are asserted on deterministic counters —
+worker-side :class:`~repro.storage.instrumented.IOStats` deltas and
+protocol round-trip counts, never wall-clock (single-core CI boxes make
+timing flaky):
+
+1. **Worker isolation** — a query routed to one era increments only that
+   era's worker-side I/O counters; every other worker's delta stays zero.
+   Each worker owns its shard's store outright, so this is structural, and
+   the counters prove no hidden cross-process reads sneak in.
+2. **Build neutrality** — an N-worker parallel federation build writes
+   exactly the same per-store operations as N independent per-era builds:
+   shipping the build into processes adds no I/O, only process boundaries.
+3. **One round trip per spanned shard** — a multipoint spanning k eras
+   costs exactly k protocol round trips (one batched sub-query per spanned
+   worker) and zero round trips to workers outside the span.
+
+Worker-mode note: era adoption replaces each ``shard.store`` with the
+store instance shipped back from the build worker (its counters carry the
+worker-side build I/O), so assertions read ``federation.shards[i].store``
+— the factory-captured references are the pre-adoption objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import BENCH_EVENTS
+
+from repro.core.deltagraph import DeltaGraph
+from repro.core.snapshot import GraphSnapshot
+from repro.datasets.coauthorship import (
+    CoauthorshipConfig,
+    generate_coauthorship_trace,
+)
+from repro.sharding import EventCountPolicy, ShardedHistoryIndex
+from repro.storage.instrumented import InstrumentedKVStore
+from repro.storage.memory_store import InMemoryKVStore
+
+LEAF_SIZE = 400
+ARITY = 2
+TARGET_SHARDS = 4
+
+SIZE = max(BENCH_EVENTS // 2, 4000)
+
+
+def _trace(num_events: int):
+    return generate_coauthorship_trace(CoauthorshipConfig(
+        total_events=num_events, num_years=40, attrs_per_node=3, seed=29))
+
+
+@pytest.fixture(scope="module")
+def worker_federation():
+    """A ~TARGET_SHARDS-era subprocess-mode federation over instrumented
+    stores, torn down with its whole worker pool."""
+    events = _trace(SIZE)
+    policy = EventCountPolicy(max(SIZE // TARGET_SHARDS, 1))
+    index = ShardedHistoryIndex.build(
+        events, policy,
+        store_factory=lambda sid: InstrumentedKVStore(InMemoryKVStore()),
+        build_workers=TARGET_SHARDS, worker_mode="subprocess",
+        leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+    yield events, index, policy
+    index.close()
+
+
+def sealed_workers(index: ShardedHistoryIndex):
+    return {shard.shard_id: shard.worker for shard in index.shards
+            if shard.worker is not None and shard.worker.serving}
+
+
+def test_worker_build_issues_same_ops_as_independent_builds(
+        worker_federation, recorder):
+    events, index, policy = worker_federation
+    assert len(index.shards) >= 3, "workload must span several shards"
+    assert index._worker_events["worker_builds"] == len(index.shards), \
+        "every era must build in its own worker process"
+    assert index._worker_events["build_fallbacks"] == 0
+    worker_puts = {shard.shard_id: shard.store.stats.puts
+                   for shard in index.shards}
+
+    eras = policy.split(events)
+    assert len(eras) == len(index.shards)
+    independent_puts = {}
+    current = GraphSnapshot.empty()
+    for position, (t_lo, era_events) in enumerate(eras):
+        store = InstrumentedKVStore(InMemoryKVStore())
+        base = None if position == 0 else current.copy()
+        DeltaGraph.build(era_events, store=store, initial_graph=base,
+                         start_time=min(t_lo, era_events[0].time) - 1,
+                         leaf_eventlist_size=LEAF_SIZE, arity=ARITY)
+        independent_puts[position] = store.stats.puts
+        for event in era_events:
+            current.apply_event(event)
+
+    assert worker_puts == independent_puts, (
+        "an N-worker federation build must issue exactly the N "
+        "independent per-era builds' store writes, shard for shard")
+    recorder(f"worker_build_ops_{SIZE}", {
+        "events": SIZE,
+        "shards": len(eras),
+        "worker_builds": index._worker_events["worker_builds"],
+        "worker_puts": worker_puts,
+        "independent_puts": independent_puts,
+        "total_puts": sum(worker_puts.values()),
+    })
+
+
+def test_worker_query_reads_zero_foreign_io(worker_federation, recorder):
+    _events, index, _policy = worker_federation
+    workers = sealed_workers(index)
+    assert len(workers) >= 2
+    per_probe = {}
+    for shard in index.shards:
+        if shard.shard_id not in workers:
+            continue  # the live tail always runs in-process
+        hi = shard.t_hi - 1 if shard.t_hi is not None else shard.last_time
+        time = (shard.t_lo + hi) // 2
+        assert index.shard_for(time) is shard
+        for worker in workers.values():
+            worker.mark_io_baseline()
+        index.get_snapshot(time)
+        deltas = {sid: worker.io_delta() for sid, worker in workers.items()}
+        owner = deltas[shard.shard_id]
+        assert owner is not None and owner.gets > 0, \
+            "the owning era's worker must serve the query"
+        for sid, delta in deltas.items():
+            if sid == shard.shard_id:
+                continue
+            assert delta is None or (delta.gets == 0
+                                     and delta.batch_gets == 0), (
+                f"query @ {time} (era {shard.shard_id}) read "
+                f"{delta.gets} keys inside era {sid}'s worker")
+        per_probe[shard.shard_id] = owner.gets
+    recorder(f"worker_isolation_{SIZE}", {
+        "events": SIZE,
+        "workers": len(workers),
+        "per_probe_owner_gets": per_probe,
+        "foreign_gets": 0,
+    })
+
+
+def test_multipoint_costs_one_round_trip_per_spanned_worker(
+        worker_federation, recorder):
+    _events, index, _policy = worker_federation
+    workers = sealed_workers(index)
+    spanned = [shard for shard in index.shards
+               if shard.shard_id in workers][:3]
+    assert len(spanned) >= 2
+    spanned_ids = {shard.shard_id for shard in spanned}
+    times = []
+    for shard in spanned:
+        hi = shard.t_hi - 1 if shard.t_hi is not None else shard.last_time
+        times.extend([shard.t_lo, (shard.t_lo + hi) // 2])
+
+    before = {sid: worker.round_trips for sid, worker in workers.items()}
+    snapshots = index.get_snapshots(times)
+    assert [s.time for s in snapshots] == times
+    trips = {sid: worker.round_trips - before[sid]
+             for sid, worker in workers.items()}
+    for sid, delta in trips.items():
+        if sid in spanned_ids:
+            assert delta == 1, (
+                f"era {sid} carries {len([t for t in times if index.shard_for(t).shard_id == sid])} "
+                f"points but must cost exactly 1 round trip, saw {delta}")
+        else:
+            assert delta == 0, \
+                f"era {sid} is outside the span but saw {delta} round trips"
+    recorder(f"worker_multipoint_{SIZE}", {
+        "events": SIZE,
+        "points": len(times),
+        "workers_spanned": len(spanned),
+        "round_trips": trips,
+    })

@@ -160,8 +160,14 @@ def main() -> None:
         assert service["requests_completed"] >= (
             NUM_READERS * QUERIES_PER_READER + 2 * WRITE_BATCHES)
     finally:
+        # Reap the server even if it ignores SIGTERM — a child that
+        # survives an assertion failure would outlive the whole run.
         process.terminate()
-        process.wait(timeout=10)
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10)
     print("serving example finished")
 
 

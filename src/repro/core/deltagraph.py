@@ -1908,6 +1908,55 @@ class DeltaGraph:
         return self._current_graph.copy()
 
     # ==================================================================
+    # cross-process state transfer (era-shard workers)
+    # ==================================================================
+
+    def detach_state(self) -> Dict:
+        """The index's picklable in-memory state, without its resources.
+
+        The skeleton, pending construction groups, provisional/retired
+        bookkeeping, counters — everything :meth:`from_state` needs to
+        reconstruct an equivalent index in another process — minus the
+        three members that cannot (or must not) cross a process boundary:
+        the store (reopened worker-side via
+        :func:`repro.storage.transfer.open_store`), the cache (each process
+        owns its own), and the lock.  Aux indexes are process-local too and
+        are refused rather than silently dropped.
+        """
+        with self._lock:
+            if self.aux_indexes:
+                raise ConfigurationError(
+                    "an index with auxiliary indexes cannot be detached "
+                    "for worker transfer (aux state is process-local)")
+            state = dict(self.__dict__)
+        for member in ("store", "cache", "_lock", "_cache_namespace"):
+            state.pop(member, None)
+        return state
+
+    @classmethod
+    def from_state(cls, state: Dict, store: KVStore,
+                   cache: Optional[DeltaCache] = None) -> "DeltaGraph":
+        """Reconstruct an index from :meth:`detach_state` output.
+
+        ``store`` must hold the same records the detached index's store
+        held (the worker hand-off ships them via
+        :mod:`repro.storage.transfer`); ``cache`` is this process's own
+        :class:`~repro.cache.delta_cache.DeltaCache`, never a shared one.
+        """
+        index = cls.__new__(cls)
+        index.__dict__.update(state)
+        index.store = store
+        index.cache = cache
+        index._lock = threading.RLock()
+        index._cache_namespace = _store_namespace(store)
+        if index.config.codec is not None:
+            if not store.set_codec(resolve_codec(index.config.codec)):
+                raise ConfigurationError(
+                    f"store {type(store).__name__} cannot adopt the "
+                    f"detached index's codec {index.config.codec!r}")
+        return index
+
+    # ==================================================================
     # statistics
     # ==================================================================
 

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..core.deltagraph import DeltaGraph
 from ..core.events import Event
 from ..core.snapshot import GraphSnapshot
+from ..errors import ConfigurationError
 from ..graphpool.pool import GraphPool
 from ..storage.kvstore import KVStore
 from .algorithms import pregel_pagerank
@@ -49,16 +50,40 @@ class ParallelRetrievalResult:
 class PartitionedHistoricalGraphStore:
     """A DeltaGraph deployed across ``num_partitions`` logical workers."""
 
-    def __init__(self, events: Iterable[Event], num_partitions: int = 4,
+    def __init__(self, events: Optional[Iterable[Event]] = None,
+                 num_partitions: int = 4,
                  store: Optional[KVStore] = None,
                  leaf_eventlist_size: int = 2000, arity: int = 4,
                  differential_functions: Sequence = ("intersection",),
-                 initial_graph: Optional[GraphSnapshot] = None) -> None:
+                 initial_graph: Optional[GraphSnapshot] = None,
+                 index=None) -> None:
+        """Build a partitioned deployment, or wrap a prebuilt ``index``.
+
+        ``index`` accepts any object speaking the DeltaGraph retrieval
+        interface with a ``partitioner`` — notably a
+        :class:`~repro.sharding.federation.ShardedHistoryIndex` in
+        ``worker_mode="subprocess"``, where each per-partition retrieval
+        thread blocks on a worker-process round trip instead of competing
+        for the GIL, so the Figure 8b speedup curve reflects real
+        hardware parallelism.  The prebuilt index must have been
+        constructed with ``num_partitions`` matching this deployment's.
+        """
         self.num_partitions = num_partitions
-        self.index = DeltaGraph.build(
-            events, store=store, leaf_eventlist_size=leaf_eventlist_size,
-            arity=arity, differential_functions=differential_functions,
-            num_partitions=num_partitions, initial_graph=initial_graph)
+        if index is not None:
+            if events is not None:
+                raise ConfigurationError(
+                    "pass either an event trace to build from or a "
+                    "prebuilt index, not both")
+            self.index = index
+        elif events is None:
+            raise ConfigurationError(
+                "a partitioned store needs an event trace or a prebuilt "
+                "index")
+        else:
+            self.index = DeltaGraph.build(
+                events, store=store, leaf_eventlist_size=leaf_eventlist_size,
+                arity=arity, differential_functions=differential_functions,
+                num_partitions=num_partitions, initial_graph=initial_graph)
         #: One GraphPool per worker, mirroring per-machine memory.
         self.pools: List[GraphPool] = [GraphPool() for _ in range(num_partitions)]
 

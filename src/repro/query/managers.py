@@ -81,6 +81,7 @@ class HistoryManager:
                     shard_policy: Optional[ShardPolicy] = None,
                     shard_store_factory=None,
                     shard_build_workers: Optional[int] = None,
+                    shard_worker_mode: Optional[str] = None,
                     **construction_parameters) -> "HistoryManager":
         """Construct a history index from an event trace (Section 4.6).
 
@@ -94,7 +95,10 @@ class HistoryManager:
         parallel, over a store from ``shard_store_factory``; in-memory
         stores by default), and the manager serves queries through the
         cross-shard router — transparently to every caller.
-        ``shard_build_workers`` bounds the construction pool.  See
+        ``shard_build_workers`` bounds the construction pool.
+        ``shard_worker_mode="subprocess"`` builds and serves each sealed
+        era in its own worker process (with automatic in-process fallback
+        — see :mod:`repro.sharding.workers`).  See
         :class:`~repro.sharding.federation.ShardedHistoryIndex`.
         """
         if shard_policy is not None:
@@ -106,13 +110,27 @@ class HistoryManager:
                 events, policy=shard_policy,
                 store_factory=shard_store_factory,
                 build_workers=shard_build_workers,
+                worker_mode=shard_worker_mode or "inprocess",
                 **construction_parameters)
             return cls(index)
-        if shard_store_factory is not None or shard_build_workers is not None:
+        if (shard_store_factory is not None
+                or shard_build_workers is not None
+                or shard_worker_mode is not None):
             raise ConfigurationError(
-                "shard_store_factory/shard_build_workers require shard_policy")
+                "shard_store_factory/shard_build_workers/shard_worker_mode "
+                "require shard_policy")
         return cls(DeltaGraph.build(events, store=store,
                                     **construction_parameters))
+
+    def close(self) -> None:
+        """Release subprocess resources (shard workers), if any.
+
+        A no-op for unsharded or in-process-mode indexes; the index stays
+        fully queryable either way.
+        """
+        close = getattr(self.index, "close", None)
+        if close is not None:
+            close()
 
     @property
     def cache(self) -> Optional[DeltaCache]:

@@ -165,8 +165,13 @@ class _ShardedReplayCursor:
     def __init__(self, federation, components: Sequence[str],
                  start_time: int, end_time: int, stats: ScanStats) -> None:
         self._shards = federation.scan_shards(start_time, end_time)
+        # replay_source() is the shard's DeltaGraph in-process, or a
+        # worker-preferring failover facade when the era is promoted —
+        # either way the replay contract (replay_state + fetch_eventlist)
+        # and the zero-foreign-shard-reads property are identical.
         self._cursors = [
-            _IndexReplayCursor(shard.index, components, start_time, stats)
+            _IndexReplayCursor(shard.replay_source(), components, start_time,
+                               stats)
             for shard in self._shards]
 
     def take(self, t_to: int) -> List[Event]:

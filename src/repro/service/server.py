@@ -453,6 +453,13 @@ def _main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--leaf-size", type=int, default=50)
     parser.add_argument("--max-queued", type=int, default=64)
     parser.add_argument("--lease-ttl", type=float, default=30.0)
+    parser.add_argument("--shard-every", type=int, default=0,
+                        help="cut an era shard every N events "
+                             "(0 = unsharded index)")
+    parser.add_argument("--worker-mode", default="inprocess",
+                        choices=["inprocess", "subprocess"],
+                        help="serve sealed era shards from worker "
+                             "processes (requires --shard-every)")
     args = parser.parse_args(argv)
 
     from ..datasets.random_trace import (
@@ -463,9 +470,16 @@ def _main(argv: Optional[List[str]] = None) -> int:
     base, base_events = generate_starting_snapshot(30, 60, seed=11)
     churn = generate_random_trace(base, RandomTraceConfig(
         num_events=args.events, start_time=base.time + 1, seed=12))
+    shard_kwargs = {}
+    if args.shard_every > 0:
+        from ..sharding.policy import EventCountPolicy
+        shard_kwargs = {"shard_policy": EventCountPolicy(args.shard_every),
+                        "shard_worker_mode": args.worker_mode}
+    elif args.worker_mode != "inprocess":
+        parser.error("--worker-mode subprocess requires --shard-every")
     manager = HistoryManager.build_index(
         list(base_events) + list(churn),
-        leaf_eventlist_size=args.leaf_size, arity=4)
+        leaf_eventlist_size=args.leaf_size, arity=4, **shard_kwargs)
     server = ServiceServer(manager, host=args.host, port=args.port,
                            max_queued=args.max_queued,
                            lease_ttl=args.lease_ttl)
@@ -476,6 +490,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
             _time.sleep(3600)
     except KeyboardInterrupt:
         server.stop()
+        manager.close()
     return 0
 
 

@@ -17,12 +17,26 @@ from .policy import (
     TimeSpanPolicy,
 )
 from .shard import EraShard
+from .workers import (
+    FailoverReplaySource,
+    ShardWorker,
+    WorkerCrashed,
+    WorkerError,
+    WorkerProtocolError,
+    WorkerTimeout,
+)
 
 __all__ = [
     "EraShard",
     "EventCountPolicy",
     "ExplicitBoundariesPolicy",
+    "FailoverReplaySource",
     "ShardPolicy",
+    "ShardWorker",
     "ShardedHistoryIndex",
     "TimeSpanPolicy",
+    "WorkerCrashed",
+    "WorkerError",
+    "WorkerProtocolError",
+    "WorkerTimeout",
 ]

@@ -50,10 +50,15 @@ from ..errors import ConfigurationError, DeltaGraphIndexError, QueryError
 from ..storage.instrumented import IOStats
 from ..storage.kvstore import KVStore
 from ..storage.memory_store import InMemoryKVStore
+from ..storage.transfer import export_store, open_store, travels_by_value
 from .policy import ShardPolicy
 from .shard import EraShard
+from .workers import ShardWorker, WorkerError
 
 __all__ = ["ShardedHistoryIndex"]
+
+#: Valid values of the federation's ``worker_mode`` knob.
+_WORKER_MODES = ("inprocess", "subprocess")
 
 #: Upper bound on threads used for parallel era builds and cross-shard
 #: multipoint fan-out when the caller does not say otherwise.
@@ -99,9 +104,14 @@ class ShardedHistoryIndex:
     def __init__(self, shards: List[EraShard], policy: ShardPolicy,
                  store_factory: Callable[[int], KVStore],
                  cache: Optional[DeltaCache] = None,
-                 index_kwargs: Optional[Dict] = None) -> None:
+                 index_kwargs: Optional[Dict] = None,
+                 worker_mode: str = "inprocess") -> None:
         if not shards:
             raise ConfigurationError("a sharded index needs at least one shard")
+        if worker_mode not in _WORKER_MODES:
+            raise ConfigurationError(
+                f"worker_mode must be one of {_WORKER_MODES}, "
+                f"got {worker_mode!r}")
         self._shards = shards
         self.policy = policy
         self._store_factory = store_factory
@@ -113,6 +123,14 @@ class ShardedHistoryIndex:
         #: the placeholder tail can be re-anchored if the first appended
         #: event predates its provisional leaf-0 timestamp.
         self._tail_seed: Optional[GraphSnapshot] = None
+        self._worker_mode = worker_mode
+        #: Federation-wide worker lifecycle counters (surfaced by
+        #: :meth:`stats_report` under ``totals["workers"]``).
+        self._worker_events = {"promotions": 0, "fallbacks": 0,
+                               "crashes": 0, "worker_builds": 0,
+                               "build_fallbacks": 0}
+        if worker_mode == "subprocess":
+            self.promote_shards()
 
     # ==================================================================
     # construction
@@ -125,6 +143,7 @@ class ShardedHistoryIndex:
               cache: Optional[DeltaCache] = None,
               cache_max_bytes: int = 0, cache_policy: str = "lru",
               initial_graph: Optional[GraphSnapshot] = None,
+              worker_mode: str = "inprocess",
               **index_kwargs) -> "ShardedHistoryIndex":
         """Split a trace into eras and build every era's index in parallel.
 
@@ -137,7 +156,20 @@ class ShardedHistoryIndex:
         ``index_kwargs`` (leaf size, arity, codec, ``multipoint_workers``,
         ...) are applied to every shard's
         :meth:`DeltaGraph.build <repro.core.deltagraph.DeltaGraph.build>`.
+
+        With ``worker_mode="subprocess"`` each era builds in its **own
+        worker process** (shared-nothing, so the parallelism is real on
+        multi-core hardware rather than GIL-bound threads); the built
+        state and store travel back, the router retains an in-process
+        fallback copy of every era, and sealed eras keep their workers
+        serving sub-queries.  A worker that dies mid-build degrades to an
+        in-process rebuild of just that era — the log-structured store
+        makes the retry idempotent.
         """
+        if worker_mode not in _WORKER_MODES:
+            raise ConfigurationError(
+                f"worker_mode must be one of {_WORKER_MODES}, "
+                f"got {worker_mode!r}")
         if index_kwargs.get("aux_indexes"):
             raise ConfigurationError(
                 "auxiliary indexes are not supported on a sharded index "
@@ -175,7 +207,8 @@ class ShardedHistoryIndex:
             # what a bulk build over the same trace would produce.
             tail.provisional_t_lo = True
             federation = cls([tail], policy, store_factory, cache=cache,
-                             index_kwargs=index_kwargs)
+                             index_kwargs=index_kwargs,
+                             worker_mode=worker_mode)
             federation._tail_seed = initial_graph
             return federation
 
@@ -194,8 +227,12 @@ class ShardedHistoryIndex:
             boundaries.append(boundary)
 
         stores = [store_factory(i) for i in range(len(eras))]
+        cache_conf = ((cache.max_bytes, cache.policy_name)
+                      if cache is not None else None)
+        build_events = {"worker_builds": 0, "build_fallbacks": 0}
+        handles: List[Optional[ShardWorker]] = [None] * len(eras)
 
-        def build_era(position: int) -> DeltaGraph:
+        def era_inputs(position: int):
             t_lo, era_events = eras[position]
             base = initial_graph if position == 0 else boundaries[position - 1]
             # Era 0 leaves start_time to _bulk_load's inference so a caller
@@ -205,28 +242,85 @@ class ShardedHistoryIndex:
             # before them).
             start = None if position == 0 else min(t_lo,
                                                    era_events[0].time) - 1
-            return DeltaGraph.build(
-                era_events, store=stores[position], initial_graph=base,
-                start_time=start, cache=cache, **index_kwargs)
+            return era_events, base, start
 
+        def build_era(position: int,
+                      store: Optional[KVStore] = None) -> DeltaGraph:
+            era_events, base, start = era_inputs(position)
+            return DeltaGraph.build(
+                era_events,
+                store=stores[position] if store is None else store,
+                initial_graph=base, start_time=start, cache=cache,
+                **index_kwargs)
+
+        def build_era_in_worker(position: int) -> DeltaGraph:
+            era_events, base, start = era_inputs(position)
+            store = stores[position]
+            spec, payload = export_store(store)
+            if not travels_by_value(spec):
+                # The worker is about to write the disk path; the parent's
+                # fresh handle must not stay open alongside it.  The
+                # fallback below reopens the path (journal recovery +
+                # torn-tail truncation) instead.
+                store.close()
+            handle = None
+            try:
+                handle = ShardWorker.spawn(position)
+                state, back_spec, back_payload = handle.build_era(
+                    era_events, base, start, spec, payload,
+                    index_kwargs, cache_conf)
+            except WorkerError:
+                # The era's worker died (or never came up): rebuild this
+                # one era in-process.  A torn store is safe to rebuild
+                # over — reopening runs journal recovery, and re-appending
+                # the same records is idempotent under the log store's
+                # latest-wins reads.
+                if handle is not None:
+                    handle.kill()
+                build_events["build_fallbacks"] += 1
+                fallback = (store if travels_by_value(spec)
+                            else open_store(spec))
+                stores[position] = fallback
+                return build_era(position, store=fallback)
+            adopted = open_store(back_spec, back_payload)
+            stores[position] = adopted
+            handles[position] = handle
+            build_events["worker_builds"] += 1
+            return DeltaGraph.from_state(state, adopted, cache)
+
+        build_one = (build_era_in_worker if worker_mode == "subprocess"
+                     else build_era)
         workers = (build_workers if build_workers is not None
                    else min(_DEFAULT_POOL_CAP, len(eras)))
         if workers == 1 or len(eras) == 1:
-            indexes = [build_era(i) for i in range(len(eras))]
+            indexes = [build_one(i) for i in range(len(eras))]
         else:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                indexes = list(pool.map(build_era, range(len(eras))))
+                indexes = list(pool.map(build_one, range(len(eras))))
 
         shards: List[EraShard] = []
         for i, ((t_lo, era_events), index) in enumerate(zip(eras, indexes)):
             is_tail = i == len(eras) - 1
-            shards.append(EraShard(
+            shard = EraShard(
                 shard_id=i, index=index, store=stores[i], t_lo=t_lo,
                 t_hi=None if is_tail else eras[i + 1][0],
                 sealed=not is_tail, event_count=len(era_events),
-                last_time=era_events.end_time))
-        return cls(shards, policy, store_factory, cache=cache,
-                   index_kwargs=index_kwargs)
+                last_time=era_events.end_time)
+            if handles[i] is not None:
+                if is_tail:
+                    # Appends go to the in-process tail; its build worker
+                    # has nothing more to do.
+                    handles[i].shutdown()
+                else:
+                    shard.worker = handles[i]
+            shards.append(shard)
+        federation = cls(shards, policy, store_factory, cache=cache,
+                         index_kwargs=index_kwargs, worker_mode=worker_mode)
+        federation._worker_events["worker_builds"] += \
+            build_events["worker_builds"]
+        federation._worker_events["build_fallbacks"] += \
+            build_events["build_fallbacks"]
+        return federation
 
     # ==================================================================
     # routing
@@ -291,6 +385,155 @@ class ShardedHistoryIndex:
         return shard.index.materialize(local_id)
 
     # ==================================================================
+    # worker pool (subprocess mode)
+    # ==================================================================
+
+    @property
+    def worker_mode(self) -> str:
+        """``"inprocess"`` or ``"subprocess"`` (the routing knob)."""
+        return self._worker_mode
+
+    def _cache_conf(self) -> Optional[Tuple[int, str]]:
+        """The shared cache's ``(max_bytes, policy)`` recipe for workers.
+
+        Each worker builds its **own** cache from the recipe — cache
+        entries cannot be shared across the process boundary, but the
+        byte/eviction budget semantics carry over.
+        """
+        if self._cache is None:
+            return None
+        return self._cache.max_bytes, self._cache.policy_name
+
+    def _worker_for(self, shard: EraShard) -> Optional[ShardWorker]:
+        """The shard's worker handle when it can carry requests.
+
+        A worker found dead *between* requests (crashed while idle) is
+        retired and counted here, so crash accounting does not depend on
+        whether the death was noticed mid-round-trip.
+        """
+        worker = shard.worker
+        if worker is None:
+            return None
+        if not worker.serving:
+            self._note_worker_failure(shard)
+            return None
+        return worker
+
+    def _note_worker_failure(self, shard: EraShard) -> None:
+        """Retire a shard's worker after a failed round trip.
+
+        The handle is reaped and detached so every later query on this
+        shard goes straight to the retained in-process index — one failed
+        round trip per dead worker, never one per query.
+        """
+        with self._lock:
+            worker = shard.worker
+            self._worker_events["fallbacks"] += 1
+            if worker is not None:
+                if not worker.alive:
+                    self._worker_events["crashes"] += 1
+                worker.kill()
+                shard.worker = None
+
+    def _promote_shard(self, shard: EraShard) -> bool:
+        """Spawn a worker for one sealed shard and ship the shard to it.
+
+        Returns False (leaving the shard in-process) if the worker cannot
+        be spawned or loaded — promotion is an optimization, never a
+        correctness requirement.
+        """
+        try:
+            worker = ShardWorker.spawn(shard.shard_id)
+        except WorkerError:
+            return False
+        try:
+            worker.load_shard(shard.index, shard.store, self._cache_conf())
+        except WorkerError:
+            worker.kill()
+            return False
+        shard.worker = worker
+        self._wire_failure_callback(shard)
+        self._worker_events["promotions"] += 1
+        return True
+
+    def _wire_failure_callback(self, shard: EraShard) -> None:
+        shard.on_worker_failure = (
+            lambda shard=shard: self._note_worker_failure(shard))
+
+    def promote_shards(self) -> int:
+        """Promote every sealed shard without a serving worker.
+
+        Returns the number of shards promoted.  Called automatically when
+        the federation is constructed in subprocess mode and after each
+        rollover; shards whose build already left them a serving worker
+        are only wired up, not re-promoted.
+        """
+        if self._worker_mode != "subprocess":
+            return 0
+        promoted = 0
+        with self._lock:
+            for shard in self._shards:
+                if not shard.sealed:
+                    continue
+                worker = shard.worker
+                if worker is not None and worker.serving:
+                    if shard.on_worker_failure is None:
+                        # A build-time worker handed over by build():
+                        # count it and wire its failure accounting.
+                        self._wire_failure_callback(shard)
+                        self._worker_events["promotions"] += 1
+                    continue
+                if self._promote_shard(shard):
+                    promoted += 1
+        return promoted
+
+    def health_check(self, timeout: float = 10.0
+                     ) -> Dict[int, Optional[bool]]:
+        """Ping every shard's worker: ``{shard_id: status}``.
+
+        ``True`` — answered within the deadline; ``False`` — dead or
+        expired (the worker is retired on the spot, so the shard already
+        fell back in-process); ``None`` — the shard has no worker.
+        """
+        report: Dict[int, Optional[bool]] = {}
+        for shard in self.shards:
+            worker = shard.worker
+            if worker is None:
+                report[shard.shard_id] = None
+                continue
+            if not worker.serving:
+                self._note_worker_failure(shard)
+                report[shard.shard_id] = False
+                continue
+            try:
+                worker.ping(timeout=timeout)
+                report[shard.shard_id] = True
+            except WorkerError:
+                self._note_worker_failure(shard)
+                report[shard.shard_id] = False
+        return report
+
+    def close(self) -> None:
+        """Gracefully shut down every shard worker (idempotent).
+
+        The federation stays fully usable afterwards — every query routes
+        to the retained in-process indexes, exactly as in
+        ``worker_mode="inprocess"``.
+        """
+        with self._lock:
+            for shard in self._shards:
+                worker = shard.worker
+                if worker is not None:
+                    worker.shutdown()
+                    shard.worker = None
+
+    def __enter__(self) -> "ShardedHistoryIndex":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ==================================================================
     # retrieval
     # ==================================================================
 
@@ -298,9 +541,21 @@ class ShardedHistoryIndex:
                      components: Optional[Sequence[str]] = None,
                      partitions: Optional[Sequence[int]] = None
                      ) -> GraphSnapshot:
-        """Singlepoint retrieval, routed to the era shard owning ``time``."""
-        return self.shard_for(time).index.get_snapshot(time, components,
-                                                       partitions)
+        """Singlepoint retrieval, routed to the era shard owning ``time``.
+
+        In subprocess mode the owning shard's worker answers over one
+        protocol round trip; a transport failure retires the worker and
+        the retained in-process index answers instead (typed application
+        errors — an out-of-range time, say — relay and re-raise as-is).
+        """
+        shard = self.shard_for(time)
+        worker = self._worker_for(shard)
+        if worker is not None:
+            try:
+                return worker.get_snapshot(time, components, partitions)
+            except WorkerError:
+                self._note_worker_failure(shard)
+        return shard.index.get_snapshot(time, components, partitions)
 
     def get_snapshots(self, times: Sequence[int],
                       components: Optional[Sequence[str]] = None,
@@ -329,8 +584,18 @@ class ShardedHistoryIndex:
         def run(entry: Tuple[int, List[int]]) -> None:
             shard_position, positions = entry
             shard_times = [times[p] for p in positions]
-            snapshots = self._shards[shard_position].index.get_snapshots(
-                shard_times, components, partitions)
+            shard = self._shards[shard_position]
+            worker = self._worker_for(shard)
+            snapshots: Optional[List[GraphSnapshot]] = None
+            if worker is not None:
+                try:
+                    snapshots = worker.get_snapshots(shard_times, components,
+                                                     partitions)
+                except WorkerError:
+                    self._note_worker_failure(shard)
+            if snapshots is None:
+                snapshots = shard.index.get_snapshots(shard_times,
+                                                      components, partitions)
             for position, snapshot in zip(positions, snapshots):
                 results[position] = snapshot
 
@@ -357,9 +622,22 @@ class ShardedHistoryIndex:
         """
         combined = GraphSnapshot.empty()
         for shard in self._shards:
-            if shard.overlaps(start, end):
-                combined = shard.index.get_interval_graph(
-                    start, end, components, include_transient, into=combined)
+            if not shard.overlaps(start, end):
+                continue
+            worker = self._worker_for(shard)
+            if worker is not None:
+                try:
+                    # The accumulator rides the wire both ways (packed
+                    # codec), so tombstone chaining across eras behaves
+                    # exactly as the in-process merge.
+                    combined = worker.get_interval_graph(
+                        start, end, components, include_transient,
+                        into=combined)
+                    continue
+                except WorkerError:
+                    self._note_worker_failure(shard)
+            combined = shard.index.get_interval_graph(
+                start, end, components, include_transient, into=combined)
         return combined
 
     def get_aux_snapshot(self, index_name: str, time: int) -> dict:
@@ -484,6 +762,10 @@ class ShardedHistoryIndex:
                         t_lo=new_t_lo)
         self._shards.append(tail)
         self._t_los.append(new_t_lo)
+        if self._worker_mode == "subprocess":
+            # The era sealed by this rollover is write-once now — promote
+            # it so the worker pool tracks the era layout as it grows.
+            self._promote_shard(old_tail)
         return tail
 
     def seal(self, partial: bool = True) -> int:
@@ -524,6 +806,17 @@ class ShardedHistoryIndex:
         """The up-to-date current graph (owned by the live tail)."""
         return self._shards[-1].index.current_graph()
 
+    @property
+    def partitioner(self):
+        """The shared element partitioner (identical on every shard).
+
+        Every shard builds from the same ``index_kwargs``, so any shard's
+        partitioner hashes identically; exposing the tail's lets a
+        federation stand in for a single DeltaGraph inside
+        :class:`~repro.distributed.partitioned.PartitionedHistoricalGraphStore`.
+        """
+        return self._shards[-1].index.partitioner
+
     # ==================================================================
     # cache plumbing
     # ==================================================================
@@ -557,10 +850,23 @@ class ShardedHistoryIndex:
         """Summed I/O counters of instrumented shard stores.
 
         ``None`` when no shard store exposes
-        :class:`~repro.storage.instrumented.IOStats` counters.
+        :class:`~repro.storage.instrumented.IOStats` counters.  Serving
+        workers contribute the I/O they performed *since promotion* (their
+        baseline delta — the adopted parent store already carries the
+        build's I/O, so nothing is counted twice).
         """
         parts = [shard.store.stats for shard in self._shards
                  if isinstance(getattr(shard.store, "stats", None), IOStats)]
+        for shard in self._shards:
+            worker = self._worker_for(shard)
+            if worker is None:
+                continue
+            try:
+                delta = worker.io_delta()
+            except WorkerError:
+                continue  # the next query on this shard retires it
+            if delta is not None:
+                parts.append(delta)
         return _aggregate_io(parts) if parts else None
 
     def index_size_bytes(self) -> int:
@@ -574,7 +880,7 @@ class ShardedHistoryIndex:
             io = (shard.store.stats.snapshot()
                   if isinstance(getattr(shard.store, "stats", None), IOStats)
                   else None)
-            per_shard.append({
+            row = {
                 "shard": shard.shard_id,
                 "span": [shard.t_lo, shard.t_hi],
                 "sealed": shard.sealed,
@@ -584,7 +890,24 @@ class ShardedHistoryIndex:
                 "io": asdict(io) if io is not None else None,
                 "pins": shard.index.pinned_generations(),
                 "retired_pending": shard.index.retired_payload_count(),
-            })
+            }
+            worker = shard.worker
+            if worker is not None:
+                winfo = {"pid": worker.pid, "alive": worker.alive,
+                         "serving": worker.serving,
+                         "round_trips": worker.round_trips}
+                if worker.serving:
+                    try:
+                        wreport = worker.stats_report()
+                        winfo["served_ops"] = wreport.get("served_ops")
+                        delta = worker.io_delta(wreport)
+                        winfo["io"] = (asdict(delta) if delta is not None
+                                       else None)
+                        winfo["cache"] = wreport.get("cache")
+                    except WorkerError:
+                        winfo["serving"] = False
+                row["worker"] = winfo
+            per_shard.append(row)
         totals = {
             "shards": len(self._shards),
             "events": sum(shard.event_count for shard in self._shards),
@@ -593,6 +916,17 @@ class ShardedHistoryIndex:
         io_total = self.io_stats()
         if io_total is not None:
             totals["io"] = asdict(io_total)
+        if (self._worker_mode == "subprocess"
+                or any(value for value in self._worker_events.values())):
+            totals["workers"] = {
+                "mode": self._worker_mode,
+                "active": sum(1 for shard in self._shards
+                              if self._worker_for(shard) is not None),
+                "round_trips": sum(shard.worker.round_trips
+                                   for shard in self._shards
+                                   if shard.worker is not None),
+                **self._worker_events,
+            }
         cache = self.cache_stats()
         report = {"policy": self.policy.describe(), "per_shard": per_shard,
                   "totals": totals}

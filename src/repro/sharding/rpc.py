@@ -1,0 +1,468 @@
+"""Wire protocol of the era-shard worker processes.
+
+One shard worker speaks one socket to its router, carrying length-prefixed
+frames in strict request/response lockstep.  The layer deliberately reuses
+the transport-neutral pieces the query service already ships
+(:mod:`repro.service.protocol`): the u32 length framing
+(:func:`~repro.service.protocol.encode_frame` /
+:func:`~repro.service.protocol.frame_length`), the varint/string
+primitives of the packed codec, the packed columnar codec itself for every
+snapshot and event payload (:data:`~repro.service.protocol.WIRE_CODEC`),
+and the ``(code, message)`` error registry — a worker relaying a
+``TimeOutOfRangeError`` produces exactly the bytes the service would, and
+the router re-raises it typed.
+
+Frame layout::
+
+    request  := MAGIC(1) VERSION(1) kind(1) request_id(uvarint) opcode(1) payload
+    response := MAGIC(1) VERSION(1) kind(1) request_id(uvarint) status(1) payload
+    error    := ... status=1 code(str) message(str)
+
+Structured *internal* state (a detached index, a store spec, construction
+kwargs) travels pickled — both endpoints are the same codebase on the same
+host, spawned by the router itself; this link is not an external trust
+boundary the way the query service's is.
+
+Transport failures surface as the three typed errors the router's
+fallback logic dispatches on: :class:`WorkerCrashed` (EOF / reset — the
+process died), :class:`WorkerTimeout` (no answer within the deadline — the
+worker is wedged and its connection can no longer be trusted), and
+:class:`WorkerProtocolError` (desynced or corrupt frames).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.events import Event
+from ..core.snapshot import GraphSnapshot
+from ..errors import ReproError
+from ..service.protocol import (
+    WIRE_CODEC,
+    decode_snapshot,
+    encode_frame,
+    error_code_for as _service_error_code_for,
+    exception_for as _service_exception_for,
+    frame_length,
+)
+from ..service.protocol import encode_snapshot  # noqa: F401  (re-export)
+from ..storage.packed import (
+    _read_str,
+    _read_uvarint,
+    _read_varint,
+    _write_str,
+    _write_uvarint,
+    _write_varint,
+)
+
+__all__ = [
+    "OP_BUILD_ERA",
+    "OP_CRASH",
+    "OP_FETCH_EVENTLIST",
+    "OP_GET_INTERVAL",
+    "OP_GET_SNAPSHOT",
+    "OP_GET_SNAPSHOTS",
+    "OP_LOAD_SHARD",
+    "OP_PING",
+    "OP_REPLAY_STATE",
+    "OP_SHUTDOWN",
+    "OP_STATS",
+    "WORKER_MAGIC",
+    "WORKER_PROTOCOL_VERSION",
+    "WorkerCrashed",
+    "WorkerError",
+    "WorkerProtocolError",
+    "WorkerTimeout",
+    "decode_request",
+    "decode_response",
+    "encode_error",
+    "encode_request",
+    "encode_response",
+    "error_code_for",
+    "exception_for",
+    "read_events",
+    "read_obj",
+    "read_opt_snapshot",
+    "read_opt_strs",
+    "read_times",
+    "recv_frame",
+    "send_frame",
+    "write_events",
+    "write_obj",
+    "write_opt_snapshot",
+    "write_opt_strs",
+    "write_times",
+]
+
+WORKER_MAGIC = 0xC7
+WORKER_PROTOCOL_VERSION = 1
+
+_KIND_REQUEST = 1
+_KIND_RESPONSE = 2
+
+_STATUS_OK = 0
+_STATUS_ERROR = 1
+
+OP_LOAD_SHARD = 1
+OP_PING = 2
+OP_GET_SNAPSHOT = 3
+OP_GET_SNAPSHOTS = 4
+OP_GET_INTERVAL = 5
+OP_REPLAY_STATE = 6
+OP_FETCH_EVENTLIST = 7
+OP_BUILD_ERA = 8
+OP_STATS = 9
+OP_SHUTDOWN = 10
+#: Fault-injection hook: the worker exits immediately, mid-request, without
+#: replying — the router's crash detection sees a hard EOF.  Test-only.
+OP_CRASH = 11
+
+_DELAY = struct.Struct(">d")
+
+
+# ---------------------------------------------------------------------------
+# typed transport errors
+# ---------------------------------------------------------------------------
+
+class WorkerError(ReproError):
+    """Base class of shard-worker transport failures.
+
+    The router's automatic in-process fallback dispatches on exactly this
+    type: *transport* failures degrade to the retained in-process index,
+    while typed application errors relayed from a healthy worker
+    (``TimeOutOfRangeError``, ``QueryError``, ...) re-raise to the caller
+    like an in-process query's would.
+    """
+
+    code = "worker"
+
+
+class WorkerCrashed(WorkerError):
+    """The worker process died (EOF, reset, or failed spawn)."""
+
+    code = "worker-crashed"
+
+
+class WorkerTimeout(WorkerError):
+    """The worker missed a response deadline (health-check expiry)."""
+
+    code = "worker-timeout"
+
+
+class WorkerProtocolError(WorkerError):
+    """A malformed, desynced, or version-incompatible worker frame."""
+
+    code = "worker-protocol"
+
+
+_WORKER_CODES = {cls.code: cls
+                 for cls in (WorkerCrashed, WorkerTimeout,
+                             WorkerProtocolError, WorkerError)}
+
+
+def error_code_for(exc: BaseException) -> str:
+    """Wire error code for ``exc`` (worker codes, then the service registry)."""
+    for exc_type, code in ((WorkerCrashed, WorkerCrashed.code),
+                           (WorkerTimeout, WorkerTimeout.code),
+                           (WorkerProtocolError, WorkerProtocolError.code),
+                           (WorkerError, WorkerError.code)):
+        if isinstance(exc, exc_type):
+            return code
+    return _service_error_code_for(exc)
+
+
+def exception_for(code: str, message: str) -> Exception:
+    """Typed exception for a relayed ``(code, message)`` pair."""
+    worker_type = _WORKER_CODES.get(code)
+    if worker_type is not None:
+        return worker_type(message)
+    return _service_exception_for(code, message)
+
+
+# ---------------------------------------------------------------------------
+# framing over a socket
+# ---------------------------------------------------------------------------
+
+def send_frame(sock: socket.socket, body: bytes) -> None:
+    """Write one length-prefixed frame; broken pipes raise typed."""
+    try:
+        sock.sendall(encode_frame(body))
+    except socket.timeout as exc:
+        raise WorkerTimeout(f"timed out sending a worker frame: {exc}") \
+            from None
+    except OSError as exc:
+        raise WorkerCrashed(f"worker connection lost while sending: {exc}") \
+            from None
+
+
+def _recv_exactly(sock: socket.socket, length: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < length:
+        try:
+            chunk = sock.recv(length - len(chunks))
+        except socket.timeout as exc:
+            raise WorkerTimeout(
+                f"timed out waiting for a worker frame: {exc}") from None
+        except OSError as exc:
+            raise WorkerCrashed(
+                f"worker connection lost while receiving: {exc}") from None
+        if not chunk:
+            raise WorkerCrashed("worker connection closed mid-frame"
+                                if chunks or length != 4
+                                else "worker connection closed")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    """Read one length-prefixed frame body; EOF/timeout raise typed."""
+    try:
+        length = frame_length(_recv_exactly(sock, 4))
+    except WorkerError:
+        raise
+    except Exception as exc:  # oversized / corrupt length prefix
+        raise WorkerProtocolError(str(exc)) from None
+    return _recv_exactly(sock, length)
+
+
+# ---------------------------------------------------------------------------
+# request / response envelopes
+# ---------------------------------------------------------------------------
+
+def _header(kind: int) -> bytearray:
+    return bytearray((WORKER_MAGIC, WORKER_PROTOCOL_VERSION, kind))
+
+
+def _check_header(body: bytes, expected_kind: int) -> None:
+    if len(body) < 3 or body[0] != WORKER_MAGIC:
+        raise WorkerProtocolError("bad worker frame magic")
+    if body[1] > WORKER_PROTOCOL_VERSION:
+        raise WorkerProtocolError(
+            f"worker frame version {body[1]} is newer than this endpoint "
+            f"(supports <= {WORKER_PROTOCOL_VERSION})")
+    if body[2] != expected_kind:
+        raise WorkerProtocolError(f"unexpected worker frame kind {body[2]} "
+                                  f"(wanted {expected_kind})")
+
+
+def encode_request(request_id: int, opcode: int, payload: bytes = b"") -> bytes:
+    out = _header(_KIND_REQUEST)
+    _write_uvarint(out, request_id)
+    out.append(opcode)
+    out.extend(payload)
+    return bytes(out)
+
+
+def decode_request(body: bytes) -> Tuple[int, int, bytes]:
+    """``(request_id, opcode, payload)`` of one request frame."""
+    _check_header(body, _KIND_REQUEST)
+    try:
+        request_id, pos = _read_uvarint(body, 3)
+        opcode = body[pos]
+        return request_id, opcode, bytes(body[pos + 1:])
+    except IndexError:
+        raise WorkerProtocolError("truncated worker request frame") from None
+
+
+def encode_response(request_id: int, payload: bytes = b"") -> bytes:
+    out = _header(_KIND_RESPONSE)
+    _write_uvarint(out, request_id)
+    out.append(_STATUS_OK)
+    out.extend(payload)
+    return bytes(out)
+
+
+def encode_error(request_id: int, code: str, message: str) -> bytes:
+    out = _header(_KIND_RESPONSE)
+    _write_uvarint(out, request_id)
+    out.append(_STATUS_ERROR)
+    _write_str(out, code)
+    _write_str(out, message)
+    return bytes(out)
+
+
+def decode_response(body: bytes, expected_request_id: int) -> bytes:
+    """The payload of an OK response; error responses raise typed.
+
+    A response carrying a different request id means the connection is
+    desynced (e.g. a previous call timed out and its answer arrived late),
+    which is unrecoverable on a lockstep link — typed protocol error.
+    """
+    _check_header(body, _KIND_RESPONSE)
+    try:
+        request_id, pos = _read_uvarint(body, 3)
+        status = body[pos]
+        pos += 1
+        if request_id != expected_request_id:
+            raise WorkerProtocolError(
+                f"worker answered request {request_id}, expected "
+                f"{expected_request_id} (desynced connection)")
+        if status == _STATUS_ERROR:
+            code, pos = _read_str(body, pos)
+            message, pos = _read_str(body, pos)
+            raise exception_for(code, message)
+        if status != _STATUS_OK:
+            raise WorkerProtocolError(f"unknown worker status {status}")
+        return bytes(body[pos:])
+    except (IndexError, UnicodeDecodeError):
+        raise WorkerProtocolError("truncated worker response frame") from None
+
+
+# ---------------------------------------------------------------------------
+# payload primitives
+# ---------------------------------------------------------------------------
+
+def write_obj(out: bytearray, value: object) -> None:
+    """Pickle an internal structure into the payload."""
+    blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    _write_uvarint(out, len(blob))
+    out.extend(blob)
+
+
+def read_obj(data: bytes, pos: int) -> Tuple[object, int]:
+    length, pos = _read_uvarint(data, pos)
+    return pickle.loads(data[pos:pos + length]), pos + length
+
+
+def _write_blob(out: bytearray, blob: bytes) -> None:
+    _write_uvarint(out, len(blob))
+    out.extend(blob)
+
+
+def _read_blob(data: bytes, pos: int) -> Tuple[bytes, int]:
+    length, pos = _read_uvarint(data, pos)
+    return bytes(data[pos:pos + length]), pos + length
+
+
+def write_opt_strs(out: bytearray, values: Optional[Sequence[str]]) -> None:
+    """An optional string list (``None`` is distinct from empty)."""
+    if values is None:
+        out.append(0)
+        return
+    out.append(1)
+    _write_uvarint(out, len(values))
+    for value in values:
+        _write_str(out, value)
+
+
+def read_opt_strs(data: bytes, pos: int
+                  ) -> Tuple[Optional[List[str]], int]:
+    present = data[pos]
+    pos += 1
+    if not present:
+        return None, pos
+    count, pos = _read_uvarint(data, pos)
+    values = []
+    for _ in range(count):
+        value, pos = _read_str(data, pos)
+        values.append(value)
+    return values, pos
+
+
+def write_opt_ints(out: bytearray, values: Optional[Sequence[int]]) -> None:
+    if values is None:
+        out.append(0)
+        return
+    out.append(1)
+    _write_uvarint(out, len(values))
+    for value in values:
+        _write_varint(out, value)
+
+
+def read_opt_ints(data: bytes, pos: int
+                  ) -> Tuple[Optional[List[int]], int]:
+    present = data[pos]
+    pos += 1
+    if not present:
+        return None, pos
+    count, pos = _read_uvarint(data, pos)
+    values = []
+    for _ in range(count):
+        value, pos = _read_varint(data, pos)
+        values.append(value)
+    return values, pos
+
+
+def write_times(out: bytearray, times: Sequence[int]) -> None:
+    """A delta-coded timepoint list (the service protocol's layout)."""
+    _write_uvarint(out, len(times))
+    previous = 0
+    for time in times:
+        _write_varint(out, time - previous)
+        previous = time
+
+
+def read_times(data: bytes, pos: int) -> Tuple[List[int], int]:
+    count, pos = _read_uvarint(data, pos)
+    times: List[int] = []
+    previous = 0
+    for _ in range(count):
+        delta, pos = _read_varint(data, pos)
+        previous += delta
+        times.append(previous)
+    return times, pos
+
+
+def write_events(out: bytearray, events: Sequence[Event]) -> None:
+    """An event batch through the packed codec's event columns."""
+    _write_blob(out, WIRE_CODEC.encode(list(events)))
+
+
+def read_events(data: bytes, pos: int) -> Tuple[List[Event], int]:
+    blob, pos = _read_blob(data, pos)
+    events = WIRE_CODEC.decode(blob)
+    if not isinstance(events, list):
+        raise WorkerProtocolError(
+            "event payload did not decode to an event list")
+    return events, pos
+
+
+def write_opt_snapshot(out: bytearray,
+                       snapshot: Optional[GraphSnapshot]) -> None:
+    """An optional snapshot: packed-codec payload plus its optional time.
+
+    A snapshot is an additions-only delta from the empty graph, so the
+    storage codec's byte layout is the wire format — exactly the service
+    protocol's :func:`~repro.service.protocol.encode_snapshot` rule, with
+    the timestamp carried alongside (workers need it preserved for
+    boundary snapshots and interval accumulators).
+    """
+    if snapshot is None:
+        out.append(0)
+        return
+    out.append(1)
+    if snapshot.time is None:
+        out.append(0)
+    else:
+        out.append(1)
+        _write_varint(out, snapshot.time)
+    _write_blob(out, encode_snapshot(snapshot))
+
+
+def read_opt_snapshot(data: bytes, pos: int
+                      ) -> Tuple[Optional[GraphSnapshot], int]:
+    present = data[pos]
+    pos += 1
+    if not present:
+        return None, pos
+    has_time = data[pos]
+    pos += 1
+    time: Optional[int] = None
+    if has_time:
+        time, pos = _read_varint(data, pos)
+    blob, pos = _read_blob(data, pos)
+    snapshot = decode_snapshot(blob, time)
+    snapshot.time = time
+    return snapshot, pos
+
+
+def write_delay(out: bytearray, delay: float) -> None:
+    out.extend(_DELAY.pack(delay))
+
+
+def read_delay(data: bytes, pos: int) -> Tuple[float, int]:
+    (delay,) = _DELAY.unpack_from(data, pos)
+    return delay, pos + _DELAY.size

@@ -14,7 +14,7 @@ full graph at ``t`` — earlier shards never need to be consulted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..core.deltagraph import DeltaGraph, _store_namespace
 from ..storage.kvstore import KVStore
@@ -47,6 +47,16 @@ class EraShard:
     #: is keyed under this prefix, which is what keeps one cache safe to
     #: share across a whole federation.
     namespace: str = field(default="", repr=False)
+    #: The shard's promoted worker-process handle
+    #: (:class:`~repro.sharding.workers.ShardWorker`), or ``None`` while the
+    #: shard serves in-process.  The in-process ``index`` is always retained
+    #: alongside a worker — it is the fallback copy a dead worker degrades
+    #: to.
+    worker: Optional[object] = field(default=None, repr=False)
+    #: Federation callback fired when this shard's worker fails a round
+    #: trip (accounting + handle retirement).
+    on_worker_failure: Optional[Callable[[], None]] = field(default=None,
+                                                            repr=False)
 
     def __post_init__(self) -> None:
         if not self.namespace:
@@ -79,6 +89,21 @@ class EraShard:
         self.t_hi = t_hi
         self.sealed = True
         return sealed
+
+    def replay_source(self):
+        """The object the evolution scanner replays this era from.
+
+        The in-process :class:`DeltaGraph` normally; with a serving worker,
+        a :class:`~repro.sharding.workers.FailoverReplaySource` that chains
+        the scan through the worker and silently degrades back to the
+        in-process copy if it dies mid-scan.
+        """
+        worker = self.worker
+        if worker is not None and getattr(worker, "serving", False):
+            from .workers import FailoverReplaySource
+            return FailoverReplaySource(worker, self.index,
+                                        self.on_worker_failure)
+        return self.index
 
     def describe(self) -> str:
         """Human-readable one-line summary of the shard."""

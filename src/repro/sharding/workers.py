@@ -1,0 +1,719 @@
+"""Era-shard worker processes and their router-side handles.
+
+A sealed :class:`~repro.sharding.shard.EraShard` is write-once, which makes
+it safe to *promote*: a worker process gets the shard's detached DeltaGraph
+state plus a recipe for opening the same store
+(:func:`~repro.storage.transfer.export_store`), opens its **own**
+``DiskKVStore`` file handle and its own :class:`DeltaCache`, and from then
+on answers that era's sub-queries over a socket — one OS process per era,
+so cross-shard multipoint fan-out and parallel era builds stop being
+GIL-bound.  The wire format is :mod:`repro.sharding.rpc` (the service
+layer's framing + packed codec).
+
+Three pieces live here:
+
+* :func:`worker_main` / ``_worker_entry`` — the child process: a lockstep
+  serve loop dispatching one opcode at a time over one connection;
+* :class:`ShardWorker` — the router-side handle: spawn (``spawn`` start
+  method; a forked child would inherit the router's locks mid-flight),
+  health-check ping, graceful idempotent shutdown, and crash detection
+  that turns EOF/timeouts into the typed
+  :class:`~repro.sharding.rpc.WorkerError` family the federation's
+  automatic in-process fallback dispatches on;
+* :class:`FailoverReplaySource` — a ``replay_state``/``fetch_eventlist``
+  facade the evolution scanner chains through, preferring the worker and
+  silently degrading to the retained in-process index on transport
+  failure.
+
+Fault injection (test-only): the ``REPRO_WORKER_FAULT`` environment
+variable (inherited by spawned children) names ``stage:shard_id`` pairs —
+``"build:2"`` makes shard 2's worker die *after* writing its era build but
+*before* acknowledging it, which is exactly the torn-store case the
+fallback rebuild must survive.  ``OP_CRASH`` kills a worker mid-request
+without a response frame.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+import time as time_module
+import weakref
+from dataclasses import asdict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..cache.delta_cache import DeltaCache
+from ..core.deltagraph import DeltaGraph
+from ..core.events import Event
+from ..core.snapshot import GraphSnapshot
+from ..storage.instrumented import IOStats
+from ..storage.transfer import export_store, open_store
+from . import rpc
+from .rpc import (
+    WorkerCrashed,
+    WorkerError,
+    WorkerProtocolError,
+    WorkerTimeout,
+)
+
+__all__ = [
+    "FailoverReplaySource",
+    "ShardWorker",
+    "WorkerCrashed",
+    "WorkerError",
+    "WorkerProtocolError",
+    "WorkerTimeout",
+    "worker_main",
+]
+
+#: Default per-request deadline.  Generous — era builds over large traces
+#: run under it — while still bounding how long a wedged worker can stall
+#: a query before the in-process fallback answers instead.
+DEFAULT_REQUEST_TIMEOUT = 120.0
+
+#: Default deadline for the child process to come up and connect back.
+DEFAULT_SPAWN_TIMEOUT = 60.0
+
+#: Default health-check deadline (much tighter than a query's).
+DEFAULT_PING_TIMEOUT = 10.0
+
+
+def _fault_matches(stage: str, shard_id: int) -> bool:
+    """Whether ``REPRO_WORKER_FAULT`` names this ``stage:shard_id`` pair."""
+    spec = os.environ.get("REPRO_WORKER_FAULT", "")
+    if not spec:
+        return False
+    return any(part.strip() == f"{stage}:{shard_id}"
+               for part in spec.split(","))
+
+
+def _make_cache(cache_conf: Optional[Tuple[int, str]]) -> Optional[DeltaCache]:
+    if cache_conf is None:
+        return None
+    max_bytes, policy = cache_conf
+    return DeltaCache(max_bytes=max_bytes, policy=policy)
+
+
+# ---------------------------------------------------------------------------
+# worker process (child side)
+# ---------------------------------------------------------------------------
+
+class _WorkerRuntime:
+    """The child process's mutable state: its shard's index + resources."""
+
+    __slots__ = ("shard_id", "index", "store", "cache", "served_ops")
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.index: Optional[DeltaGraph] = None
+        self.store = None
+        self.cache: Optional[DeltaCache] = None
+        self.served_ops = 0
+
+    def require_index(self) -> DeltaGraph:
+        if self.index is None:
+            raise WorkerProtocolError(
+                f"worker for shard {self.shard_id} has no loaded index "
+                "(LOAD_SHARD or BUILD_ERA must come first)")
+        return self.index
+
+    def adopt(self, index: DeltaGraph, store, cache) -> None:
+        self.index = index
+        self.store = store
+        self.cache = cache
+
+
+def _handle_load_shard(runtime: _WorkerRuntime, payload: bytes) -> bytes:
+    (state, spec, store_payload, cache_conf), _pos = rpc.read_obj(payload, 0)
+    store = open_store(spec, store_payload)
+    cache = _make_cache(cache_conf)
+    runtime.adopt(DeltaGraph.from_state(state, store, cache), store, cache)
+    return b""
+
+
+def _handle_build_era(runtime: _WorkerRuntime, payload: bytes) -> bytes:
+    pos = 0
+    (spec, store_payload, index_kwargs, cache_conf,
+     start_time), pos = rpc.read_obj(payload, pos)
+    initial_graph, pos = rpc.read_opt_snapshot(payload, pos)
+    events, pos = rpc.read_events(payload, pos)
+    store = open_store(spec, store_payload)
+    cache = _make_cache(cache_conf)
+    index = DeltaGraph.build(events, store=store, initial_graph=initial_graph,
+                             start_time=start_time, cache=cache,
+                             **index_kwargs)
+    if _fault_matches("build", runtime.shard_id):
+        # Torn-build fault: the store holds a complete era the router never
+        # heard about.  Its retried in-process build re-appends the same
+        # records; the log-structured store's latest-wins reads make the
+        # retry idempotent, which tests/test_shard_workers.py proves.
+        flush = getattr(store, "flush", None)
+        if flush is not None:
+            flush()
+        os._exit(3)
+    runtime.adopt(index, store, cache)
+    back_spec, back_payload = export_store(store)
+    out = bytearray()
+    rpc.write_obj(out, (index.detach_state(), back_spec, back_payload))
+    return bytes(out)
+
+
+def _handle_get_snapshot(runtime: _WorkerRuntime, payload: bytes) -> bytes:
+    pos = 0
+    time, pos = rpc._read_varint(payload, pos)
+    components, pos = rpc.read_opt_strs(payload, pos)
+    partitions, pos = rpc.read_opt_ints(payload, pos)
+    snapshot = runtime.require_index().get_snapshot(time, components,
+                                                    partitions)
+    out = bytearray()
+    rpc.write_opt_snapshot(out, snapshot)
+    return bytes(out)
+
+
+def _handle_get_snapshots(runtime: _WorkerRuntime, payload: bytes) -> bytes:
+    pos = 0
+    times, pos = rpc.read_times(payload, pos)
+    components, pos = rpc.read_opt_strs(payload, pos)
+    partitions, pos = rpc.read_opt_ints(payload, pos)
+    snapshots = runtime.require_index().get_snapshots(times, components,
+                                                      partitions)
+    out = bytearray()
+    rpc._write_uvarint(out, len(snapshots))
+    for snapshot in snapshots:
+        rpc.write_opt_snapshot(out, snapshot)
+    return bytes(out)
+
+
+def _handle_get_interval(runtime: _WorkerRuntime, payload: bytes) -> bytes:
+    pos = 0
+    start, pos = rpc._read_varint(payload, pos)
+    end, pos = rpc._read_varint(payload, pos)
+    components, pos = rpc.read_opt_strs(payload, pos)
+    include_transient = bool(payload[pos])
+    pos += 1
+    base, pos = rpc.read_opt_snapshot(payload, pos)
+    combined = runtime.require_index().get_interval_graph(
+        start, end, components, include_transient,
+        into=base if base is not None else GraphSnapshot.empty())
+    out = bytearray()
+    rpc.write_opt_snapshot(out, combined)
+    return bytes(out)
+
+
+def _handle_replay_state(runtime: _WorkerRuntime, payload: bytes) -> bytes:
+    components, _pos = rpc.read_opt_strs(payload, 0)
+    spans, recent = runtime.require_index().replay_state(components)
+    out = bytearray()
+    rpc.write_obj(out, spans)
+    rpc.write_events(out, recent)
+    return bytes(out)
+
+
+def _handle_fetch_eventlist(runtime: _WorkerRuntime, payload: bytes) -> bytes:
+    pos = 0
+    eventlist_id, pos = rpc._read_str(payload, pos)
+    components, pos = rpc.read_opt_strs(payload, pos)
+    events = runtime.require_index().fetch_eventlist(eventlist_id, components)
+    out = bytearray()
+    rpc.write_events(out, events)
+    return bytes(out)
+
+
+def _handle_stats(runtime: _WorkerRuntime, payload: bytes) -> bytes:
+    index = runtime.require_index()
+    io = index.io_stats()
+    cache_stats = (runtime.cache.stats() if runtime.cache is not None
+                   else None)
+    report = {
+        "pid": os.getpid(),
+        "served_ops": runtime.served_ops,
+        "ingest": asdict(index.ingest_stats.snapshot()),
+        "io": asdict(io) if io is not None else None,
+        "cache": asdict(cache_stats) if cache_stats is not None else None,
+        "index_size_bytes": index.index_size_bytes(),
+    }
+    out = bytearray()
+    rpc.write_obj(out, report)
+    return bytes(out)
+
+
+def _handle_ping(runtime: _WorkerRuntime, payload: bytes) -> bytes:
+    delay, _pos = rpc.read_delay(payload, 0)
+    if delay > 0:
+        time_module.sleep(delay)
+    out = bytearray()
+    rpc._write_uvarint(out, os.getpid())
+    return bytes(out)
+
+
+_HANDLERS: Dict[int, Callable[[_WorkerRuntime, bytes], bytes]] = {
+    rpc.OP_LOAD_SHARD: _handle_load_shard,
+    rpc.OP_BUILD_ERA: _handle_build_era,
+    rpc.OP_GET_SNAPSHOT: _handle_get_snapshot,
+    rpc.OP_GET_SNAPSHOTS: _handle_get_snapshots,
+    rpc.OP_GET_INTERVAL: _handle_get_interval,
+    rpc.OP_REPLAY_STATE: _handle_replay_state,
+    rpc.OP_FETCH_EVENTLIST: _handle_fetch_eventlist,
+    rpc.OP_STATS: _handle_stats,
+    rpc.OP_PING: _handle_ping,
+}
+
+
+def worker_main(sock: socket.socket, shard_id: int) -> None:
+    """Serve one shard over one connection until shutdown or disconnect.
+
+    Strict lockstep: read one request frame, dispatch, write one response
+    frame.  Application failures are relayed typed
+    (:func:`~repro.sharding.rpc.error_code_for`); only a transport failure
+    or an explicit ``SHUTDOWN``/``CRASH`` ends the loop.
+    """
+    runtime = _WorkerRuntime(shard_id)
+    try:
+        while True:
+            try:
+                body = rpc.recv_frame(sock)
+            except WorkerError:
+                return  # router went away; nothing to answer
+            request_id, opcode, payload = rpc.decode_request(body)
+            if opcode == rpc.OP_CRASH:
+                os._exit(9)
+            if (opcode in (rpc.OP_GET_SNAPSHOT, rpc.OP_GET_SNAPSHOTS)
+                    and _fault_matches("query", runtime.shard_id)):
+                # Mid-query crash fault: die after accepting the request,
+                # before any response byte — the router sees a hard EOF on
+                # a round trip already in flight.
+                os._exit(9)
+            if opcode == rpc.OP_SHUTDOWN:
+                rpc.send_frame(sock, rpc.encode_response(request_id))
+                return
+            handler = _HANDLERS.get(opcode)
+            try:
+                if handler is None:
+                    raise WorkerProtocolError(f"unknown worker opcode "
+                                              f"{opcode}")
+                result = handler(runtime, payload)
+                runtime.served_ops += 1
+                response = rpc.encode_response(request_id, result)
+            except Exception as exc:  # relay typed, keep serving
+                response = rpc.encode_error(request_id,
+                                            rpc.error_code_for(exc),
+                                            str(exc))
+            rpc.send_frame(sock, response)
+    finally:
+        sock.close()
+        if runtime.store is not None:
+            close = getattr(runtime.store, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:
+                    pass
+
+
+def _worker_entry(host: str, port: int, shard_id: int) -> None:
+    """Child-process entry point: connect back to the router and serve."""
+    try:
+        sock = socket.create_connection((host, port), timeout=30.0)
+    except OSError:
+        return  # router died before we came up
+    sock.settimeout(None)
+    worker_main(sock, shard_id)
+
+
+# ---------------------------------------------------------------------------
+# router-side handle
+# ---------------------------------------------------------------------------
+
+def _reap(process: multiprocessing.process.BaseProcess,
+          sock: Optional[socket.socket]) -> None:
+    """Last-resort cleanup shared by close paths and the GC finalizer.
+
+    Idempotent: a process object already reaped (and closed) is left
+    alone.
+    """
+    if sock is not None:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    try:
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        # Release the multiprocessing bookkeeping (pidfd/sentinel) eagerly.
+        if not process.is_alive():
+            process.close()
+    except ValueError:
+        pass  # process object already closed by an earlier teardown
+
+
+class ShardWorker:
+    """Router-side handle of one era-shard worker process.
+
+    All round trips are serialized under one lock (the protocol is
+    lockstep); concurrency across shards comes from one handle per shard.
+    Any transport failure marks the handle dead, tears the process down,
+    and raises a typed :class:`~repro.sharding.rpc.WorkerError` — the
+    federation catches exactly those to fall back in-process.
+    """
+
+    def __init__(self, shard_id: int,
+                 process: multiprocessing.process.BaseProcess,
+                 sock: socket.socket,
+                 request_timeout: float) -> None:
+        self.shard_id = shard_id
+        self._process = process
+        self._sock: Optional[socket.socket] = sock
+        self._request_timeout = request_timeout
+        self._lock = threading.RLock()
+        self._request_id = 0
+        self._dead = False
+        self._closed = False
+        self.round_trips = 0
+        #: Worker-side I/O counters right after load/build — deltas against
+        #: this baseline are the worker's own contribution, so federation
+        #: totals never double-count I/O the adopted parent store already
+        #: carries.
+        self._io_baseline: Optional[IOStats] = None
+        self._finalizer = weakref.finalize(self, _reap, process, sock)
+
+    # -- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def spawn(cls, shard_id: int,
+              request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+              spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT) -> "ShardWorker":
+        """Start a worker process and wait for it to connect back."""
+        ctx = multiprocessing.get_context("spawn")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            listener.settimeout(spawn_timeout)
+            host, port = listener.getsockname()
+            process = ctx.Process(target=_worker_entry,
+                                  args=(host, port, shard_id),
+                                  name=f"repro-shard-worker-{shard_id}",
+                                  daemon=True)
+            process.start()
+            try:
+                sock, _addr = listener.accept()
+            except socket.timeout:
+                _reap(process, None)
+                raise WorkerCrashed(
+                    f"worker for shard {shard_id} did not connect within "
+                    f"{spawn_timeout:.0f}s") from None
+        finally:
+            listener.close()
+        sock.settimeout(request_timeout)
+        return cls(shard_id, process, sock, request_timeout)
+
+    @property
+    def pid(self) -> Optional[int]:
+        try:
+            return self._process.pid
+        except ValueError:  # process handle already closed
+            return None
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process itself is still running."""
+        try:
+            return self._process.is_alive()
+        except ValueError:  # process handle already closed
+            return False
+
+    @property
+    def serving(self) -> bool:
+        """Whether the handle can still carry requests."""
+        return not (self._dead or self._closed) and self.alive
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Gracefully stop the worker; safe to call any number of times."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not self._dead and self.alive and self._sock is not None:
+                try:
+                    self._round_trip(rpc.OP_SHUTDOWN, b"", timeout=timeout)
+                except WorkerError:
+                    pass  # already gone — reap below
+            self._teardown()
+
+    def kill(self) -> None:
+        """Hard-kill the worker process (fault injection / last resort)."""
+        with self._lock:
+            self._dead = True
+            self._teardown()
+
+    def inject_crash(self) -> None:
+        """Make the worker exit mid-request without replying (test hook)."""
+        with self._lock:
+            if self._sock is None:
+                return
+            try:
+                rpc.send_frame(self._sock,
+                               rpc.encode_request(self._next_id(),
+                                                  rpc.OP_CRASH))
+            except WorkerError:
+                pass
+            self._process.join(timeout=5.0)
+
+    def _teardown(self) -> None:
+        sock, self._sock = self._sock, None
+        _reap(self._process, sock)
+        self._finalizer.detach()
+
+    # -- round trips ---------------------------------------------------
+
+    def _next_id(self) -> int:
+        self._request_id += 1
+        return self._request_id
+
+    def _round_trip(self, opcode: int, payload: bytes,
+                    timeout: Optional[float] = None) -> bytes:
+        with self._lock:
+            if self._closed or self._dead or self._sock is None:
+                raise WorkerCrashed(
+                    f"worker for shard {self.shard_id} is not serving")
+            request_id = self._next_id()
+            sock = self._sock
+            if timeout is not None:
+                sock.settimeout(timeout)
+            try:
+                rpc.send_frame(sock,
+                               rpc.encode_request(request_id, opcode,
+                                                  payload))
+                body = rpc.recv_frame(sock)
+                result = rpc.decode_response(body, request_id)
+            except WorkerError:
+                # Transport failure or desync: this connection cannot be
+                # trusted for another lockstep exchange.  Mark dead and
+                # reap so the federation falls back in-process.
+                self._dead = True
+                self._teardown()
+                raise
+            finally:
+                if timeout is not None and self._sock is not None:
+                    self._sock.settimeout(self._request_timeout)
+            self.round_trips += 1
+            return result
+
+    # -- operations ----------------------------------------------------
+
+    def ping(self, timeout: float = DEFAULT_PING_TIMEOUT,
+             delay: float = 0.0) -> int:
+        """Health check; returns the worker's pid.
+
+        ``delay`` makes the worker sleep before answering — the knob the
+        health-check-expiry tests use to force a deadline miss.
+        """
+        out = bytearray()
+        rpc.write_delay(out, delay)
+        body = self._round_trip(rpc.OP_PING, bytes(out), timeout=timeout)
+        pid, _pos = rpc._read_uvarint(body, 0)
+        return pid
+
+    def load_shard(self, index: DeltaGraph, store,
+                   cache_conf: Optional[Tuple[int, str]]) -> None:
+        """Ship a sealed shard's index + store to the worker."""
+        spec, payload = export_store(store)
+        out = bytearray()
+        rpc.write_obj(out, (index.detach_state(), spec, payload, cache_conf))
+        self._round_trip(rpc.OP_LOAD_SHARD, bytes(out))
+        self.mark_io_baseline()
+
+    def build_era(self, events: Sequence[Event],
+                  initial_graph: Optional[GraphSnapshot],
+                  start_time: Optional[int], store_spec: tuple,
+                  store_payload, index_kwargs: Dict,
+                  cache_conf: Optional[Tuple[int, str]]
+                  ) -> Tuple[Dict, tuple, object]:
+        """Build one era in the worker; returns the adoption parts.
+
+        ``(detached index state, store spec, store payload)`` — the router
+        reopens/unpacks the store on its side and reattaches the state as
+        its in-process fallback copy.
+        """
+        out = bytearray()
+        rpc.write_obj(out, (store_spec, store_payload, index_kwargs,
+                            cache_conf, start_time))
+        rpc.write_opt_snapshot(out, initial_graph)
+        rpc.write_events(out, events)
+        body = self._round_trip(rpc.OP_BUILD_ERA, bytes(out))
+        (state, back_spec, back_payload), _pos = rpc.read_obj(body, 0)
+        self.mark_io_baseline()
+        return state, back_spec, back_payload
+
+    def get_snapshot(self, time: int,
+                     components: Optional[Sequence[str]] = None,
+                     partitions: Optional[Sequence[int]] = None
+                     ) -> GraphSnapshot:
+        out = bytearray()
+        rpc._write_varint(out, time)
+        rpc.write_opt_strs(out, components)
+        rpc.write_opt_ints(out, partitions)
+        body = self._round_trip(rpc.OP_GET_SNAPSHOT, bytes(out))
+        snapshot, _pos = rpc.read_opt_snapshot(body, 0)
+        if snapshot is None:
+            raise WorkerProtocolError("worker returned no snapshot")
+        return snapshot
+
+    def get_snapshots(self, times: Sequence[int],
+                      components: Optional[Sequence[str]] = None,
+                      partitions: Optional[Sequence[int]] = None
+                      ) -> List[GraphSnapshot]:
+        out = bytearray()
+        rpc.write_times(out, times)
+        rpc.write_opt_strs(out, components)
+        rpc.write_opt_ints(out, partitions)
+        body = self._round_trip(rpc.OP_GET_SNAPSHOTS, bytes(out))
+        count, pos = rpc._read_uvarint(body, 0)
+        snapshots: List[GraphSnapshot] = []
+        for _ in range(count):
+            snapshot, pos = rpc.read_opt_snapshot(body, pos)
+            if snapshot is None:
+                raise WorkerProtocolError("worker returned a null snapshot")
+            snapshots.append(snapshot)
+        return snapshots
+
+    def get_interval_graph(self, start: int, end: int,
+                           components: Optional[Sequence[str]] = None,
+                           include_transient: bool = True,
+                           into: Optional[GraphSnapshot] = None
+                           ) -> GraphSnapshot:
+        out = bytearray()
+        rpc._write_varint(out, start)
+        rpc._write_varint(out, end)
+        rpc.write_opt_strs(out, components)
+        out.append(1 if include_transient else 0)
+        rpc.write_opt_snapshot(out, into)
+        body = self._round_trip(rpc.OP_GET_INTERVAL, bytes(out))
+        snapshot, _pos = rpc.read_opt_snapshot(body, 0)
+        if snapshot is None:
+            raise WorkerProtocolError("worker returned no interval graph")
+        return snapshot
+
+    def replay_state(self, components: Optional[Sequence[str]] = None
+                     ) -> Tuple[List, List[Event]]:
+        out = bytearray()
+        rpc.write_opt_strs(out, components)
+        body = self._round_trip(rpc.OP_REPLAY_STATE, bytes(out))
+        spans, pos = rpc.read_obj(body, 0)
+        recent, _pos = rpc.read_events(body, pos)
+        return spans, recent
+
+    def fetch_eventlist(self, eventlist_id: str,
+                        components: Optional[Sequence[str]] = None
+                        ) -> List[Event]:
+        out = bytearray()
+        rpc._write_str(out, eventlist_id)
+        rpc.write_opt_strs(out, components)
+        body = self._round_trip(rpc.OP_FETCH_EVENTLIST, bytes(out))
+        events, _pos = rpc.read_events(body, 0)
+        return events
+
+    def stats_report(self, timeout: Optional[float] = None) -> Dict:
+        """The worker-side counter report (pid, ops, ingest/io/cache)."""
+        body = self._round_trip(rpc.OP_STATS, b"", timeout=timeout)
+        report, _pos = rpc.read_obj(body, 0)
+        return report
+
+    # -- I/O accounting ------------------------------------------------
+
+    def mark_io_baseline(self) -> None:
+        """Snapshot worker-side I/O counters as the accounting baseline."""
+        try:
+            report = self.stats_report()
+        except WorkerError:
+            return
+        io = report.get("io")
+        self._io_baseline = IOStats(**io) if io is not None else None
+
+    def io_delta(self, report: Optional[Dict] = None) -> Optional[IOStats]:
+        """Worker-side I/O since the baseline (``None`` if uninstrumented).
+
+        Pass an already-fetched ``stats_report()`` to avoid a second round
+        trip.
+        """
+        if report is None:
+            report = self.stats_report()
+        io = report.get("io")
+        if io is None:
+            return None
+        current = IOStats(**io)
+        if self._io_baseline is None:
+            return current
+        return current - self._io_baseline
+
+    def describe(self) -> str:
+        state = ("serving" if self.serving
+                 else "closed" if self._closed else "dead")
+        return (f"ShardWorker(#{self.shard_id} pid={self.pid} {state}, "
+                f"{self.round_trips} round trips)")
+
+
+# ---------------------------------------------------------------------------
+# scan chaining
+# ---------------------------------------------------------------------------
+
+class FailoverReplaySource:
+    """A scanner-facing replay source that prefers the shard's worker.
+
+    Quacks like the two-method slice of :class:`DeltaGraph` the evolution
+    scanner's replay cursors consume (``replay_state`` +
+    ``fetch_eventlist``).  Every call tries the worker first; a typed
+    transport failure flips the source to the retained in-process index
+    permanently (and notifies the federation via ``on_failure``), so a
+    worker dying mid-scan costs one failed round trip — never a wrong or
+    torn replay, because both sides serve the same write-once era.
+    """
+
+    def __init__(self, worker: ShardWorker, index: DeltaGraph,
+                 on_failure: Optional[Callable[[], None]] = None) -> None:
+        self._worker: Optional[ShardWorker] = worker
+        self._index = index
+        self._on_failure = on_failure
+
+    def _fail_over(self) -> None:
+        self._worker = None
+        if self._on_failure is not None:
+            self._on_failure()
+
+    def _current_worker(self) -> Optional[ShardWorker]:
+        """The worker if it can still serve; fails over (and notifies the
+        federation) the moment a crash-between-calls is noticed."""
+        worker = self._worker
+        if worker is None:
+            return None
+        if not worker.serving:
+            self._fail_over()
+            return None
+        return worker
+
+    def replay_state(self, components: Optional[Sequence[str]] = None):
+        worker = self._current_worker()
+        if worker is not None:
+            try:
+                return worker.replay_state(components)
+            except WorkerError:
+                self._fail_over()
+        return self._index.replay_state(components)
+
+    def fetch_eventlist(self, eventlist_id: str,
+                        components: Optional[Sequence[str]] = None,
+                        scratch: Optional[Dict] = None) -> List[Event]:
+        worker = self._current_worker()
+        if worker is not None:
+            try:
+                return worker.fetch_eventlist(eventlist_id, components)
+            except WorkerError:
+                self._fail_over()
+        return self._index.fetch_eventlist(eventlist_id, components,
+                                           scratch=scratch)

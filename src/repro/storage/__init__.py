@@ -29,6 +29,7 @@ from .instrumented import InstrumentedKVStore, IOStats, SimulatedLatencyModel
 from .kvstore import KVStore, make_key, parse_key
 from .memory_store import InMemoryKVStore
 from .packed import PackedCodec
+from .transfer import export_store, open_store, travels_by_value
 
 __all__ = [
     "Codec",
@@ -44,6 +45,9 @@ __all__ = [
     "IOStats",
     "SimulatedLatencyModel",
     "KVStore",
+    "export_store",
     "make_key",
+    "open_store",
     "parse_key",
+    "travels_by_value",
 ]

@@ -1,0 +1,96 @@
+"""Cross-process store hand-off for era-shard workers.
+
+A shard promoted to a worker process must open **its own** store over the
+same data the parent built (DESIGN.md §12): a worker sharing the parent's
+``DiskKVStore`` file object would race it on the single file offset, and an
+in-memory store is invisible across the process boundary altogether.  The
+two helpers here split a store into the parts that travel differently:
+
+* :func:`export_store` returns ``(spec, payload)`` — ``spec`` is a small
+  picklable recipe for *opening the same storage location* in another
+  process (a disk store's path/codec, an instrumentation wrapper's latency
+  model), ``payload`` carries the contents that are not reachable from a
+  location (an in-memory store's data, an instrumented wrapper's counters)
+  or ``None`` when the location alone suffices;
+* :func:`open_store` is the inverse: it reopens/rewraps on the other side.
+
+The pair is symmetric, so the same two calls ship a store parent → worker
+at promotion time and worker → parent after a worker-side era build (the
+parent adopts the built store as its in-process fallback copy).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import StorageError
+from .disk_store import DiskKVStore
+from .instrumented import InstrumentedKVStore
+from .kvstore import KVStore
+
+__all__ = ["export_store", "open_store", "travels_by_value"]
+
+
+def travels_by_value(spec: tuple) -> bool:
+    """Whether this spec's store data travels *inside* the payload.
+
+    True for in-memory stores (the object itself is shipped, so the
+    sender's original stays intact and usable); False when the spec names
+    an external location (a disk path) both processes can open — in which
+    case the sender should close its handle before the receiver writes.
+    """
+    kind = spec[0]
+    if kind == "instrumented":
+        return travels_by_value(spec[1])
+    return kind == "object"
+
+
+def export_store(store: KVStore) -> Tuple[tuple, Optional[object]]:
+    """Split ``store`` into a reopening recipe and a contents payload.
+
+    Both halves are picklable.  Disk stores are flushed first so the other
+    process's reopen sees every buffered record.
+    """
+    if isinstance(store, InstrumentedKVStore):
+        inner_spec, inner_payload = export_store(store.inner)
+        return (("instrumented", inner_spec, store.latency),
+                ("instrumented", inner_payload, store.stats))
+    if isinstance(store, DiskKVStore):
+        store.flush()
+        return (("disk", store.path, store._codec,
+                 store._fsync_batches), None)
+    # Anything else (InMemoryKVStore and friends) has no external location:
+    # the object itself is the payload and travels whole.
+    return ("object",), store
+
+
+def open_store(spec: tuple, payload: Optional[object] = None) -> KVStore:
+    """Reconstruct a store from :func:`export_store`'s two halves.
+
+    For a disk spec the path is reopened (re-indexing the log and running
+    journal recovery, so a store a crashed worker wrote last comes back
+    consistent); for an instrumented spec the wrapper is rebuilt around its
+    reopened inner store, adopting the travelled counters so I/O accounting
+    survives the hand-off.
+    """
+    kind = spec[0]
+    if kind == "instrumented":
+        _kind, inner_spec, latency = spec
+        inner_payload, stats = None, None
+        if payload is not None:
+            _kind, inner_payload, stats = payload
+        wrapper = InstrumentedKVStore(open_store(inner_spec, inner_payload),
+                                      latency=latency)
+        if stats is not None:
+            wrapper.stats = stats
+        return wrapper
+    if kind == "disk":
+        _kind, path, codec, fsync_batches = spec
+        return DiskKVStore(path, codec=codec, fsync_batches=fsync_batches)
+    if kind == "object":
+        if not isinstance(payload, KVStore):
+            raise StorageError(
+                "an 'object' store spec needs its payload (the store "
+                f"itself); got {type(payload).__name__}")
+        return payload
+    raise StorageError(f"unknown store spec kind {kind!r}")

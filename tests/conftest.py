@@ -6,6 +6,8 @@ tests stay fast; tests that need different shapes build their own traces.
 
 from __future__ import annotations
 
+import multiprocessing
+
 import pytest
 
 from repro.core.events import EventList
@@ -62,3 +64,80 @@ def reference_snapshot(events: EventList, time: int) -> GraphSnapshot:
 def reference():
     """Expose the reference replay helper to tests as a fixture."""
     return reference_snapshot
+
+
+# ---------------------------------------------------------------------------
+# subprocess hygiene
+# ---------------------------------------------------------------------------
+
+class ChildReaper:
+    """Registry of child processes a test spawns, reaped at teardown.
+
+    Tests that start subprocesses (shard workers, service servers)
+    register them here; teardown terminates and joins every survivor even
+    when the test body died on an assertion half-way — the fix for
+    orphaned ``examples/serving.py``-style children outliving a failed
+    run.  Accepts both ``multiprocessing.Process`` objects and
+    ``subprocess.Popen`` handles, plus anything with a ``shutdown()`` or
+    ``close()`` (a :class:`~repro.sharding.workers.ShardWorker` handle, a
+    worker-mode federation).
+    """
+
+    def __init__(self) -> None:
+        self._children = []
+
+    def register(self, child):
+        self._children.append(child)
+        return child
+
+    def reap(self) -> None:
+        for child in reversed(self._children):
+            for method in ("shutdown", "close"):
+                hook = getattr(child, method, None)
+                if hook is not None:
+                    try:
+                        hook()
+                    except Exception:
+                        pass
+                    break
+            if hasattr(child, "terminate"):
+                try:
+                    child.terminate()
+                except (OSError, ValueError):
+                    pass
+                try:
+                    if hasattr(child, "wait"):  # subprocess.Popen
+                        child.wait(timeout=5)
+                    else:  # multiprocessing.Process
+                        child.join(timeout=5)
+                        if child.is_alive():
+                            child.kill()
+                            child.join(timeout=5)
+                except Exception:
+                    pass
+        self._children.clear()
+
+
+@pytest.fixture
+def child_reaper():
+    """Terminate-and-join registry for subprocess-spawning tests."""
+    reaper = ChildReaper()
+    yield reaper
+    reaper.reap()
+
+
+@pytest.fixture(autouse=True)
+def _no_stray_children():
+    """Fail-safe sweep: no test may leak live child processes.
+
+    Runs after every test (autouse) and terminates any
+    ``multiprocessing`` children still alive — a worker leaked by an
+    assertion failure dies here instead of outliving the test run.
+    """
+    yield
+    for child in multiprocessing.active_children():
+        child.terminate()
+        child.join(timeout=5)
+        if child.is_alive():
+            child.kill()
+            child.join(timeout=5)
